@@ -1,0 +1,374 @@
+// Benchmarks regenerating every experiment of the paper (DESIGN.md §5):
+// one Benchmark per table/figure/claim plus the ablations. Custom
+// metrics report the figures of merit (simulated cycles, Gbit/s,
+// speedups) alongside the usual ns/op.
+package repro
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/edge"
+	"repro/internal/floorplan"
+	"repro/internal/noc"
+	"repro/internal/r8"
+	"repro/internal/sim"
+	"repro/internal/traffic"
+)
+
+// BenchmarkE1LatencyFormula times a single-packet latency probe and
+// reports the measured network latency next to the paper's model.
+func BenchmarkE1LatencyFormula(b *testing.B) {
+	cfg := noc.Defaults(8, 8)
+	src, dst := noc.Addr{X: 0, Y: 0}, noc.Addr{X: 7, Y: 0}
+	var last uint64
+	for i := 0; i < b.N; i++ {
+		lat, err := traffic.ProbeLatency(cfg, src, dst, 16)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = lat
+	}
+	b.ReportMetric(float64(last), "cycles")
+	b.ReportMetric(float64(noc.FormulaLatency(cfg, 8, 18)), "formula-cycles")
+}
+
+// BenchmarkE2PeakThroughput drives the five-connection router peak.
+func BenchmarkE2PeakThroughput(b *testing.B) {
+	var res traffic.PeakResult
+	for i := 0; i < b.N; i++ {
+		r, err := traffic.PeakThroughput(noc.Defaults(3, 3), 20)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res = r
+	}
+	b.ReportMetric(res.MeasuredGbps, "Gbit/s")
+	b.ReportMetric(100*res.Efficiency, "%-of-peak")
+}
+
+// BenchmarkE3BufferDepth sweeps input buffer depth under saturation.
+func BenchmarkE3BufferDepth(b *testing.B) {
+	for _, depth := range []int{1, 2, 4, 8, 16} {
+		b.Run(fmt.Sprintf("depth%d", depth), func(b *testing.B) {
+			cfg := noc.Defaults(4, 4)
+			cfg.BufDepth = depth
+			var delivered float64
+			for i := 0; i < b.N; i++ {
+				res, err := traffic.Run(cfg, traffic.Config{
+					Rate: 0.40, PayloadFlits: 8, Seed: 11,
+					Warmup: 2000, Measure: 6000, Drain: 20000,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				delivered = res.Delivered
+			}
+			b.ReportMetric(delivered, "flits/cycle/node")
+		})
+	}
+}
+
+// BenchmarkE6Floorplan anneals the Figure 7 instance.
+func BenchmarkE6Floorplan(b *testing.B) {
+	p := floorplan.MultiNoC()
+	var cost float64
+	for i := 0; i < b.N; i++ {
+		res, err := p.Anneal(42, 20000)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cost = res.Cost
+	}
+	b.ReportMetric(cost, "hpwl")
+}
+
+// BenchmarkE7SerialLink measures a host write+read round trip over the
+// bit-level RS-232 model.
+func BenchmarkE7SerialLink(b *testing.B) {
+	var cycles uint64
+	for i := 0; i < b.N; i++ {
+		sys, err := core.New(core.Default())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := sys.Boot(); err != nil {
+			b.Fatal(err)
+		}
+		start := sys.Clk.Cycle()
+		memAddr := noc.Addr{X: 1, Y: 1}
+		if err := sys.Host.WriteMemory(memAddr, 0, make([]uint16, 16)); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := sys.ReadMemory(memAddr, 0, 16); err != nil {
+			b.Fatal(err)
+		}
+		cycles = sys.Clk.Cycle() - start
+	}
+	b.ReportMetric(float64(cycles), "cycles/roundtrip")
+}
+
+// BenchmarkE8EdgeDetect runs the Figure 10 application with one and
+// two processors.
+func BenchmarkE8EdgeDetect(b *testing.B) {
+	img := edge.NewImage(16, 10)
+	r := sim.NewRand(5)
+	for y := range img {
+		for x := range img[y] {
+			img[y][x] = uint8(r.Intn(256))
+		}
+	}
+	for _, n := range []int{1, 2} {
+		b.Run(fmt.Sprintf("%dproc", n), func(b *testing.B) {
+			var cycles uint64
+			for i := 0; i < b.N; i++ {
+				sys, err := core.New(core.Default())
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := sys.Boot(); err != nil {
+					b.Fatal(err)
+				}
+				d := edge.NewDriver(sys, edge.Direct, 16)
+				procs := []int{1, 2}[:n]
+				if err := d.LoadKernels(procs...); err != nil {
+					b.Fatal(err)
+				}
+				_, c, err := d.Process(img, procs...)
+				if err != nil {
+					b.Fatal(err)
+				}
+				cycles = c
+			}
+			b.ReportMetric(float64(cycles), "cycles/image")
+		})
+	}
+}
+
+// BenchmarkE9WaitNotify measures the synchronization round trip.
+func BenchmarkE9WaitNotify(b *testing.B) {
+	const rounds = 20
+	var perRound float64
+	for i := 0; i < b.N; i++ {
+		sys, err := core.New(core.Default())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := sys.Boot(); err != nil {
+			b.Fatal(err)
+		}
+		p1 := fmt.Sprintf(`
+			LDI R5, %d
+			CLR R1
+		loop:	LDI R2, 0xFFFD
+			LDI R3, 2
+			ST R3, R1, R2
+			LDI R2, 0xFFFE
+			ST R3, R1, R2
+			DEC R5
+			JMPNZ loop
+			HALT`, rounds)
+		p2 := fmt.Sprintf(`
+			LDI R5, %d
+			CLR R1
+			LDI R3, 1
+		loop:	LDI R2, 0xFFFE
+			ST R3, R1, R2
+			LDI R2, 0xFFFD
+			ST R3, R1, R2
+			DEC R5
+			JMPNZ loop
+			HALT`, rounds)
+		if _, err := sys.LoadProgramDirect(1, p1); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := sys.LoadProgramDirect(2, p2); err != nil {
+			b.Fatal(err)
+		}
+		if err := sys.Activate(2); err != nil {
+			b.Fatal(err)
+		}
+		if err := sys.Activate(1); err != nil {
+			b.Fatal(err)
+		}
+		start := sys.Clk.Cycle()
+		if err := sys.RunUntilHalted(10_000_000, 1, 2); err != nil {
+			b.Fatal(err)
+		}
+		perRound = float64(sys.Clk.Cycle()-start) / rounds
+	}
+	b.ReportMetric(perRound, "cycles/round")
+}
+
+// BenchmarkE11CPI measures simulated instruction throughput of the
+// cycle-accurate core and reports its CPI.
+func BenchmarkE11CPI(b *testing.B) {
+	bus := &benchRAM{}
+	add, _ := r8.Inst{Op: r8.ADD, Rt: 1, Rs1: 2, Rs2: 3}.Encode()
+	jmp, _ := r8.Inst{Op: r8.JMP, Disp: -128}.Encode()
+	for i := 0; i < 127; i++ {
+		bus.m[i] = add
+	}
+	bus.m[127] = jmp
+	cpu := r8.New()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cpu.Step(bus)
+	}
+	b.ReportMetric(cpu.CPI(), "CPI")
+}
+
+type benchRAM struct{ m [4096]uint16 }
+
+func (r *benchRAM) Read(a uint16) (uint16, bool) { return r.m[a%4096], true }
+func (r *benchRAM) Write(a, v uint16) bool       { r.m[a%4096] = v; return true }
+
+// BenchmarkE12SeaOfProcessors scales the parallel reduction.
+func BenchmarkE12SeaOfProcessors(b *testing.B) {
+	const totalWork = 840
+	for _, n := range []int{1, 2, 4, 7, 14} {
+		b.Run(fmt.Sprintf("%dprocs", n), func(b *testing.B) {
+			var cycles uint64
+			for i := 0; i < b.N; i++ {
+				cfg, err := core.Scaled(4, 4, 14, 1)
+				if err != nil {
+					b.Fatal(err)
+				}
+				sys, err := core.New(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := sys.Boot(); err != nil {
+					b.Fatal(err)
+				}
+				chunk := totalWork / n
+				src := fmt.Sprintf(`
+					.equ N, %d
+					CLR R0
+					CLR R1
+					LDI R2, data
+					CLR R3
+				loop:	LD R4, R2, R3
+					ADD R1, R1, R4
+					INC R3
+					LDI R5, N
+					SUB R6, R3, R5
+					JMPNZ loop
+					LDI R7, 0x0100
+					ST R1, R7, R0
+					HALT
+				data:	.space %d`, chunk, chunk)
+				ids := make([]int, n)
+				for id := 1; id <= n; id++ {
+					if _, err := sys.LoadProgramDirect(id, src); err != nil {
+						b.Fatal(err)
+					}
+					ids[id-1] = id
+				}
+				start := sys.Clk.Cycle()
+				for _, id := range ids {
+					if err := sys.Activate(id); err != nil {
+						b.Fatal(err)
+					}
+				}
+				if err := sys.RunUntilHalted(50_000_000, ids...); err != nil {
+					b.Fatal(err)
+				}
+				cycles = sys.Clk.Cycle() - start
+			}
+			b.ReportMetric(float64(cycles), "cycles")
+		})
+	}
+}
+
+// BenchmarkAblRouting compares routing algorithms under transpose
+// traffic.
+func BenchmarkAblRouting(b *testing.B) {
+	algos := []struct {
+		name string
+		fn   noc.RoutingFunc
+	}{{"XY", noc.RouteXY}, {"YX", noc.RouteYX}, {"WestFirst", noc.RouteWestFirst}}
+	for _, a := range algos {
+		b.Run(a.name, func(b *testing.B) {
+			cfg := noc.Defaults(4, 4)
+			cfg.Routing = a.fn
+			var lat float64
+			for i := 0; i < b.N; i++ {
+				res, err := traffic.Run(cfg, traffic.Config{
+					Pattern: traffic.Transpose, Rate: 0.15, PayloadFlits: 8, Seed: 5,
+					Warmup: 2000, Measure: 6000, Drain: 20000,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				lat = res.Latency.MeanCycles
+			}
+			b.ReportMetric(lat, "cycles-mean-latency")
+		})
+	}
+}
+
+// BenchmarkAblFlitWidth scales the flit width.
+func BenchmarkAblFlitWidth(b *testing.B) {
+	for _, bits := range []int{8, 16, 32} {
+		b.Run(fmt.Sprintf("%dbit", bits), func(b *testing.B) {
+			cfg := noc.Defaults(3, 3)
+			cfg.FlitBits = bits
+			var gbps float64
+			for i := 0; i < b.N; i++ {
+				res, err := traffic.PeakThroughput(cfg, 10)
+				if err != nil {
+					b.Fatal(err)
+				}
+				gbps = res.MeasuredGbps
+			}
+			b.ReportMetric(gbps, "Gbit/s")
+		})
+	}
+}
+
+// BenchmarkAblRouteCycles sweeps the per-hop routing time.
+func BenchmarkAblRouteCycles(b *testing.B) {
+	for _, rc := range []int{6, 14, 28} {
+		b.Run(fmt.Sprintf("rc%d", rc), func(b *testing.B) {
+			cfg := noc.Defaults(8, 1)
+			cfg.RouteCycles = rc
+			var lat uint64
+			for i := 0; i < b.N; i++ {
+				l, err := traffic.ProbeLatency(cfg, noc.Addr{X: 0, Y: 0}, noc.Addr{X: 7, Y: 0}, 16)
+				if err != nil {
+					b.Fatal(err)
+				}
+				lat = l
+			}
+			b.ReportMetric(float64(lat), "cycles")
+		})
+	}
+}
+
+// BenchmarkAblBaud sweeps the serial divisor for a program download.
+func BenchmarkAblBaud(b *testing.B) {
+	for _, div := range []int{8, 16, 32} {
+		b.Run(fmt.Sprintf("div%d", div), func(b *testing.B) {
+			var cycles uint64
+			for i := 0; i < b.N; i++ {
+				cfg := core.Default()
+				cfg.SerialDiv = div
+				sys, err := core.New(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := sys.Boot(); err != nil {
+					b.Fatal(err)
+				}
+				start := sys.Clk.Cycle()
+				if err := sys.Host.WriteMemory(noc.Addr{X: 0, Y: 1}, 0, make([]uint16, 64)); err != nil {
+					b.Fatal(err)
+				}
+				cycles = sys.Clk.Cycle() - start
+			}
+			b.ReportMetric(float64(cycles), "cycles/64words")
+		})
+	}
+}

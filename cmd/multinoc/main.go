@@ -1,0 +1,161 @@
+// Command multinoc boots the paper's Figure 1 system — a 2x2 Hermes
+// mesh with two R8 processors, a remote memory and a serial host
+// bridge — then drives the Figure 8 flow: synchronize baud, download
+// object code, activate processors, run, and read results back.
+//
+// Usage:
+//
+//	multinoc                         # built-in hello demo on P1
+//	multinoc -p1 prog1.asm -p2 prog2.asm [-cycles 2000000]
+//	multinoc -p1 prog.asm -read 11:0x0000:8   # dump remote memory
+//	multinoc -p1 prog.rc             # .rc files go through the R8C compiler
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/noc"
+	"repro/internal/rcc"
+)
+
+const hello = `
+	LDI R1, 0xFFFF
+	CLR R0
+	LDI R2, 'H'
+	ST R2, R1, R0
+	LDI R2, 'e'
+	ST R2, R1, R0
+	LDI R2, 'l'
+	ST R2, R1, R0
+	ST R2, R1, R0
+	LDI R2, 'o'
+	ST R2, R1, R0
+	LDI R2, 10
+	ST R2, R1, R0
+	HALT
+`
+
+func main() {
+	p1 := flag.String("p1", "", "program for processor 1 (.asm or .rc)")
+	p2 := flag.String("p2", "", "program for processor 2 (.asm or .rc)")
+	read := flag.String("read", "", "after the run, read memory: tgt:addr:count (tgt like 01, 10, 11)")
+	cycles := flag.Uint64("cycles", 5_000_000, "cycle budget for the run")
+	in := flag.String("in", "", "comma-separated scanf answers")
+	flag.Parse()
+
+	sys, err := core.New(core.Default())
+	if err != nil {
+		fatal(err)
+	}
+	if *in != "" {
+		vals := []uint16{}
+		for _, f := range strings.Split(*in, ",") {
+			v, err := strconv.ParseInt(strings.TrimSpace(f), 0, 17)
+			if err != nil {
+				fatal(err)
+			}
+			vals = append(vals, uint16(v))
+		}
+		sys.Host.ScanfData = func(noc.Addr) uint16 {
+			if len(vals) == 0 {
+				fatal(fmt.Errorf("scanf requested but -in exhausted"))
+			}
+			v := vals[0]
+			vals = vals[1:]
+			return v
+		}
+	}
+	fmt.Fprintln(os.Stderr, "synchronizing (0x55)...")
+	if err := sys.Boot(); err != nil {
+		fatal(err)
+	}
+
+	load := func(id int, path string) {
+		src := hello
+		if path != "" {
+			data, err := os.ReadFile(path)
+			if err != nil {
+				fatal(err)
+			}
+			src = string(data)
+			if strings.HasSuffix(path, ".rc") {
+				src, err = rcc.Compile(src)
+				if err != nil {
+					fatal(err)
+				}
+			}
+		}
+		fmt.Fprintf(os.Stderr, "downloading program to processor %d...\n", id)
+		if _, err := sys.LoadProgram(id, src); err != nil {
+			fatal(err)
+		}
+		if err := sys.Activate(id); err != nil {
+			fatal(err)
+		}
+	}
+
+	var active []int
+	if *p1 != "" || *p2 == "" {
+		load(1, *p1)
+		active = append(active, 1)
+	}
+	if *p2 != "" {
+		load(2, *p2)
+		active = append(active, 2)
+	}
+
+	if err := sys.RunUntilHalted(*cycles, active...); err != nil {
+		fmt.Fprintf(os.Stderr, "run: %v (continuing to drain output)\n", err)
+	}
+	sys.Clk.Run(50_000) // drain printf frames through the serial line
+
+	for _, id := range active {
+		if out := sys.Output(id); out != "" {
+			fmt.Printf("P%d> %s", id, out)
+			if !strings.HasSuffix(out, "\n") {
+				fmt.Println()
+			}
+		}
+		cpu := sys.Proc(id).CPU()
+		fmt.Fprintf(os.Stderr, "P%d: halted=%v cycles=%d retired=%d CPI=%.2f\n",
+			id, cpu.Halted(), cpu.Cycles, cpu.Retired, cpu.CPI())
+	}
+
+	if *read != "" {
+		parts := strings.Split(*read, ":")
+		if len(parts) != 3 {
+			fatal(fmt.Errorf("bad -read spec %q", *read))
+		}
+		tgtCode, err := strconv.ParseUint(parts[0], 16, 8)
+		if err != nil {
+			fatal(err)
+		}
+		addr, err := strconv.ParseUint(parts[1], 0, 16)
+		if err != nil {
+			fatal(err)
+		}
+		n, err := strconv.Atoi(parts[2])
+		if err != nil {
+			fatal(err)
+		}
+		words, err := sys.ReadMemory(noc.DecodeAddr(uint16(tgtCode)), uint16(addr), n)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("memory of IP %s at 0x%04X:", parts[0], addr)
+		for _, w := range words {
+			fmt.Printf(" %04X", w)
+		}
+		fmt.Println()
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "multinoc:", err)
+	os.Exit(1)
+}

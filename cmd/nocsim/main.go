@@ -1,0 +1,158 @@
+// Command nocsim runs synthetic traffic through a standalone Hermes
+// NoC and prints latency/throughput figures — the workhorse behind the
+// E1/E2/E3 experiments.
+//
+// Usage:
+//
+//	nocsim [-w 4 -h 4] [-pattern uniform] [-payload 8] [-depth 2] -rate 0.1
+//	nocsim -sweep "0.02,0.05,0.1,0.2,0.3"      # rate sweep table
+//	nocsim -peak                               # 5-connection router peak
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/noc"
+	"repro/internal/sim"
+	"repro/internal/traffic"
+	"repro/internal/vcd"
+)
+
+func main() {
+	w := flag.Int("w", 4, "mesh width")
+	h := flag.Int("h", 4, "mesh height")
+	rate := flag.Float64("rate", 0.1, "offered load, flits/cycle/node")
+	pattern := flag.String("pattern", "uniform", "uniform|transpose|bitcomp|hotspot")
+	payload := flag.Int("payload", 8, "payload flits per packet")
+	depth := flag.Int("depth", 2, "input buffer depth")
+	flit := flag.Int("flit", 8, "flit width in bits")
+	routing := flag.String("routing", "xy", "xy|yx|westfirst")
+	cycles := flag.Int("cycles", 20000, "measurement cycles")
+	seed := flag.Uint64("seed", 1, "workload seed")
+	sweep := flag.String("sweep", "", "comma-separated rates for a sweep table")
+	peak := flag.Bool("peak", false, "run the 5-connection peak-throughput experiment")
+	vcdPath := flag.String("vcd", "", "trace the centre router's links to a VCD waveform file")
+	flag.Parse()
+
+	cfg := noc.Defaults(*w, *h)
+	cfg.BufDepth = *depth
+	cfg.FlitBits = *flit
+	switch *routing {
+	case "xy":
+		cfg.Routing = noc.RouteXY
+	case "yx":
+		cfg.Routing = noc.RouteYX
+	case "westfirst":
+		cfg.Routing = noc.RouteWestFirst
+	default:
+		fatal(fmt.Errorf("unknown routing %q", *routing))
+	}
+
+	if *vcdPath != "" {
+		if err := traceOnePacket(cfg, *vcdPath); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	if *peak {
+		res, err := traffic.PeakThroughput(cfg, 50)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("router peak: measured %.3f Gbit/s of %.3f theoretical (%.1f%% efficiency)\n",
+			res.MeasuredGbps, res.TheoreticalGbps, 100*res.Efficiency)
+		return
+	}
+
+	var pat traffic.Pattern
+	switch *pattern {
+	case "uniform":
+		pat = traffic.Uniform
+	case "transpose":
+		pat = traffic.Transpose
+	case "bitcomp":
+		pat = traffic.BitComplement
+	case "hotspot":
+		pat = traffic.Hotspot(noc.Addr{X: *w / 2, Y: *h / 2}, 0.2)
+	default:
+		fatal(fmt.Errorf("unknown pattern %q", *pattern))
+	}
+
+	rates := []float64{*rate}
+	if *sweep != "" {
+		rates = nil
+		for _, f := range strings.Split(*sweep, ",") {
+			v, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+			if err != nil {
+				fatal(err)
+			}
+			rates = append(rates, v)
+		}
+	}
+	fmt.Printf("%8s %10s %10s %10s %10s %10s %8s\n",
+		"offered", "accepted", "delivered", "lat.mean", "lat.p95", "lat.total", "packets")
+	for _, r := range rates {
+		res, err := traffic.Run(cfg, traffic.Config{
+			Pattern: pat, Rate: r, PayloadFlits: *payload, Seed: *seed,
+			Warmup: *cycles / 4, Measure: *cycles, Drain: *cycles * 2,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%8.3f %10.4f %10.4f %10.1f %10d %10.1f %8d\n",
+			res.Offered, res.Accepted, res.Delivered,
+			res.Latency.MeanCycles, res.Latency.P95Cycles,
+			res.Latency.MeanTotalCycles, res.MeasuredPackets)
+	}
+}
+
+// traceOnePacket records the waveforms of a single corner-to-corner
+// packet at the mesh centre, for inspection in a VCD viewer.
+func traceOnePacket(cfg noc.Config, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	clk := sim.NewClock()
+	net, err := noc.New(clk, cfg)
+	if err != nil {
+		return err
+	}
+	src, err := net.NewEndpoint(noc.Addr{X: 0, Y: 0})
+	if err != nil {
+		return err
+	}
+	dst := noc.Addr{X: cfg.Width - 1, Y: cfg.Height - 1}
+	if _, err := net.NewEndpoint(dst); err != nil {
+		return err
+	}
+	w := vcd.NewWriter(f)
+	noc.AttachVCD(net, w, noc.Addr{X: cfg.Width / 2, Y: cfg.Height / 2}, dst)
+	if err := w.Begin(); err != nil {
+		return err
+	}
+	meta, err := src.Send(dst, make([]uint16, 16))
+	if err != nil {
+		return err
+	}
+	if err := clk.RunUntil(func() bool { return meta.EjectCycle != 0 }, 1_000_000); err != nil {
+		return err
+	}
+	clk.Run(8)
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "traced %d cycles into %s\n", clk.Cycle(), path)
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "nocsim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,51 @@
+// Command r8asm assembles R8 assembly source into the textual object
+// format the MultiNoC host downloads over RS-232 (§4).
+//
+// Usage:
+//
+//	r8asm [-o out.obj] prog.asm
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/r8asm"
+)
+
+func main() {
+	out := flag.String("o", "", "output object file (default: stdout)")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: r8asm [-o out.obj] prog.asm")
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	prog, err := r8asm.Assemble(string(src))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := r8asm.WriteObject(w, prog); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "assembled %d words in %d segment(s)\n", prog.Size(), len(prog.Segments))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "r8asm:", err)
+	os.Exit(1)
+}

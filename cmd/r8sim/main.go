@@ -1,0 +1,90 @@
+// Command r8sim runs a program on the functional R8 simulator — the
+// counterpart of the paper's "R8 Simulator environment" [3]. It accepts
+// either assembly (.asm) or object (.obj) input, maps printf output to
+// stdout and feeds scanf from -in values.
+//
+// Usage:
+//
+//	r8sim [-max N] [-trace] [-in "1,2,3"] prog.asm
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/r8"
+	"repro/internal/r8asm"
+	"repro/internal/r8sim"
+)
+
+func main() {
+	maxInst := flag.Int("max", 10_000_000, "instruction budget")
+	trace := flag.Bool("trace", false, "print every executed instruction")
+	in := flag.String("in", "", "comma-separated scanf inputs")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: r8sim [-max N] [-trace] [-in vals] prog.{asm,obj}")
+		os.Exit(2)
+	}
+	path := flag.Arg(0)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fatal(err)
+	}
+	var prog *r8asm.Program
+	if strings.HasSuffix(path, ".obj") {
+		prog, err = r8asm.ParseObject(strings.NewReader(string(data)))
+	} else {
+		prog, err = r8asm.Assemble(string(data))
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	m := r8sim.New(65536)
+	if err := m.Load(prog); err != nil {
+		fatal(err)
+	}
+	var inputs []uint16
+	if *in != "" {
+		for _, f := range strings.Split(*in, ",") {
+			v, err := strconv.ParseInt(strings.TrimSpace(f), 0, 17)
+			if err != nil {
+				fatal(fmt.Errorf("bad -in value %q: %v", f, err))
+			}
+			inputs = append(inputs, uint16(v))
+		}
+	}
+	m.Printf = func(v uint16) { fmt.Printf("%c", rune(v&0xFF)) }
+	m.Scanf = func() uint16 {
+		if len(inputs) == 0 {
+			fatal(fmt.Errorf("program executed scanf but -in is exhausted"))
+		}
+		v := inputs[0]
+		inputs = inputs[1:]
+		return v
+	}
+	if *trace {
+		m.Trace = func(pc uint16, inst r8.Inst) {
+			fmt.Fprintf(os.Stderr, "%04X: %s\n", pc, inst.Disasm())
+		}
+	}
+	halted, err := m.Run(*maxInst)
+	if err != nil {
+		fatal(err)
+	}
+	if !halted {
+		fatal(fmt.Errorf("no HALT within %d instructions", *maxInst))
+	}
+	fmt.Fprintf(os.Stderr, "\nhalted after %d instructions; R3=%d (0x%04X)\n",
+		m.Retired, int16(m.Regs[3]), m.Regs[3])
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "r8sim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,93 @@
+// Command rcc compiles R8C (a small C-like language) into R8 assembly —
+// the C compiler the paper lists as future work (§5).
+//
+// Usage:
+//
+//	rcc [-o out.asm] [-run] [-in "1,2"] prog.rc
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/r8asm"
+	"repro/internal/r8sim"
+	"repro/internal/rcc"
+)
+
+func main() {
+	out := flag.String("o", "", "output assembly file (default: stdout)")
+	run := flag.Bool("run", false, "compile, assemble and run on the functional simulator")
+	in := flag.String("in", "", "comma-separated getw() inputs for -run")
+	stackTop := flag.Uint("stack", 0x03FF, "initial stack pointer")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: rcc [-o out.asm] [-run] prog.rc")
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	asm, err := rcc.CompileOpts(string(src), rcc.Options{StackTop: uint16(*stackTop)})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if !*run {
+		w := os.Stdout
+		if *out != "" {
+			f, err := os.Create(*out)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			w = f
+		}
+		fmt.Fprint(w, asm)
+		return
+	}
+	prog, err := r8asm.Assemble(asm)
+	if err != nil {
+		fatal(fmt.Errorf("internal: generated assembly rejected: %v", err))
+	}
+	m := r8sim.New(65536)
+	if err := m.Load(prog); err != nil {
+		fatal(err)
+	}
+	var inputs []uint16
+	if *in != "" {
+		for _, f := range strings.Split(*in, ",") {
+			v, err := strconv.ParseInt(strings.TrimSpace(f), 0, 17)
+			if err != nil {
+				fatal(err)
+			}
+			inputs = append(inputs, uint16(v))
+		}
+	}
+	m.Printf = func(v uint16) { fmt.Printf("%c", rune(v&0xFF)) }
+	m.Scanf = func() uint16 {
+		if len(inputs) == 0 {
+			fatal(fmt.Errorf("getw() called but -in is exhausted"))
+		}
+		v := inputs[0]
+		inputs = inputs[1:]
+		return v
+	}
+	halted, err := m.Run(50_000_000)
+	if err != nil {
+		fatal(err)
+	}
+	if !halted {
+		fatal(fmt.Errorf("program did not halt"))
+	}
+	fmt.Fprintf(os.Stderr, "\nmain returned %d\n", int16(m.Regs[3]))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "rcc:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,13 @@
+// Package repro is a full reimplementation of "MultiNoC: A
+// Multiprocessing System Enabled by a Network on Chip" (Mello, Möller,
+// Calazans, Moraes — DATE 2004): the Hermes wormhole NoC, the R8
+// processor and its toolchain (assembler, functional simulator, R8C
+// compiler), the Memory and Serial IP cores, the host software, and a
+// cycle-accurate full-system simulator tying them together.
+//
+// See README.md for a tour, DESIGN.md for the system inventory and
+// experiment index, and EXPERIMENTS.md for paper-vs-measured results.
+// The benchmarks in bench_test.go regenerate every experiment; the
+// binaries under cmd/ and the programs under examples/ exercise the
+// public API.
+package repro

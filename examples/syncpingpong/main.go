@@ -1,0 +1,99 @@
+// Syncpingpong demonstrates the §2.4 synchronization primitives: the
+// memory-mapped wait (ST to 0xFFFE) and notify (ST to 0xFFFD) commands
+// the paper's example uses, bounced between the two processors like a
+// ping-pong ball, with each side printing its half of the rally.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+)
+
+const rounds = 5
+
+func main() {
+	sys, err := core.New(core.Default())
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := sys.Boot(); err != nil {
+		log.Fatal(err)
+	}
+
+	// P1 serves: print "ping ", notify P2, wait for P2, repeat.
+	p1 := fmt.Sprintf(`
+		LDI R5, %d       ; rounds
+		CLR R1
+		LDI R6, 0xFFFF   ; printf
+		LDI R7, 0xFFFD   ; notify
+		LDI R8, 0xFFFE   ; wait
+loop:	LDI R2, 'p'
+		ST R2, R6, R1
+		LDI R2, 'i'
+		ST R2, R6, R1
+		LDI R2, 'n'
+		ST R2, R6, R1
+		LDI R2, 'g'
+		ST R2, R6, R1
+		LDI R2, ' '
+		ST R2, R6, R1
+		LDI R3, 2
+		ST R3, R1, R7    ; notify processor 2
+		ST R3, R1, R8    ; wait for processor 2
+		DEC R5
+		JMPNZ loop
+		HALT`, rounds)
+
+	// P2 returns: wait for P1, print "pong ", notify P1, repeat.
+	p2 := fmt.Sprintf(`
+		LDI R5, %d
+		CLR R1
+		LDI R6, 0xFFFF
+		LDI R7, 0xFFFD
+		LDI R8, 0xFFFE
+		LDI R3, 1
+loop:	ST R3, R1, R8    ; wait for processor 1
+		LDI R2, 'p'
+		ST R2, R6, R1
+		LDI R2, 'o'
+		ST R2, R6, R1
+		LDI R2, 'n'
+		ST R2, R6, R1
+		LDI R2, 'g'
+		ST R2, R6, R1
+		LDI R2, ' '
+		ST R2, R6, R1
+		ST R3, R1, R7    ; notify processor 1
+		DEC R5
+		JMPNZ loop
+		HALT`, rounds)
+
+	if _, err := sys.LoadProgram(1, p1); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := sys.LoadProgram(2, p2); err != nil {
+		log.Fatal(err)
+	}
+	// Start the receiver first, like the paper's example.
+	if err := sys.Activate(2); err != nil {
+		log.Fatal(err)
+	}
+	if err := sys.Activate(1); err != nil {
+		log.Fatal(err)
+	}
+	start := sys.Clk.Cycle()
+	if err := sys.RunUntilHalted(10_000_000, 1, 2); err != nil {
+		log.Fatal(err)
+	}
+	elapsed := sys.Clk.Cycle() - start
+	sys.Clk.Run(200_000) // drain printf frames
+
+	fmt.Printf("P1> %s\n", sys.Output(1))
+	fmt.Printf("P2> %s\n", sys.Output(2))
+	st1, st2 := sys.Proc(1).Stats(), sys.Proc(2).Stats()
+	fmt.Printf("\n%d rounds in %d cycles (%.0f cycles/round)\n", rounds, elapsed, float64(elapsed)/rounds)
+	fmt.Printf("P1: %d notifies sent, %d waits blocked\n", st1.Notifies, st1.WaitsBlocked)
+	fmt.Printf("P2: %d notifies sent, %d waits blocked\n", st2.Notifies, st2.WaitsBlocked)
+}

@@ -1,0 +1,217 @@
+// Package area models FPGA resource consumption of MultiNoC's IP cores,
+// replacing the Xilinx synthesis flow the paper used (§3). The per-core
+// costs are calibrated so that the Figure 1 system reproduces the
+// paper's headline utilization — 98% of the XC2S200E's slices and 78%
+// of its LUTs — and the model then extrapolates the §3 scalability
+// discussion: router area stays constant while IP area grows, so the
+// NoC's share of a large system drops below 10% or 5%.
+package area
+
+import "fmt"
+
+// Resources counts FPGA primitives.
+type Resources struct {
+	Slices    int
+	LUTs      int
+	BlockRAMs int
+}
+
+// Add returns element-wise r + o.
+func (r Resources) Add(o Resources) Resources {
+	return Resources{r.Slices + o.Slices, r.LUTs + o.LUTs, r.BlockRAMs + o.BlockRAMs}
+}
+
+// Scale returns r scaled by n.
+func (r Resources) Scale(n int) Resources {
+	return Resources{r.Slices * n, r.LUTs * n, r.BlockRAMs * n}
+}
+
+// Device is an FPGA with its resource capacity.
+type Device struct {
+	Name     string
+	Capacity Resources
+	// BlockRAMBits is the size of one BlockRAM (4 Kbit on Spartan-II).
+	BlockRAMBits int
+}
+
+// XC2S200E is the paper's target: a Spartan-IIe with 2352 slices, 4704
+// LUTs and fourteen 4-Kbit BlockRAMs — each holding exactly the
+// 1024 x 4-bit bank of Figure 4.
+var XC2S200E = Device{
+	Name:         "XC2S200E",
+	Capacity:     Resources{Slices: 2352, LUTs: 4704, BlockRAMs: 14},
+	BlockRAMBits: 4096,
+}
+
+// XC2V3000 is a representative "larger FPGA device" for the paper's
+// future-work scaling scenario (§5).
+var XC2V3000 = Device{
+	Name:         "XC2V3000",
+	Capacity:     Resources{Slices: 14336, LUTs: 28672, BlockRAMs: 96},
+	BlockRAMBits: 18 * 1024,
+}
+
+// Utilization reports r as a fraction of the device capacity per
+// resource class.
+type Utilization struct {
+	Slices    float64
+	LUTs      float64
+	BlockRAMs float64
+}
+
+// Utilization computes the fraction of dev consumed by r.
+func (r Resources) Utilization(dev Device) Utilization {
+	return Utilization{
+		Slices:    float64(r.Slices) / float64(dev.Capacity.Slices),
+		LUTs:      float64(r.LUTs) / float64(dev.Capacity.LUTs),
+		BlockRAMs: float64(r.BlockRAMs) / float64(dev.Capacity.BlockRAMs),
+	}
+}
+
+// Fits reports whether r fits the device.
+func (r Resources) Fits(dev Device) bool {
+	return r.Slices <= dev.Capacity.Slices &&
+		r.LUTs <= dev.Capacity.LUTs &&
+		r.BlockRAMs <= dev.Capacity.BlockRAMs
+}
+
+// Calibrated per-core costs. The absolute numbers are the calibration
+// knobs; their sum over the Figure 1 inventory hits the paper's 98%/78%
+// utilization exactly (see TestE4DeviceUtilization).
+var (
+	// routerBase is a Hermes router with 8-bit flits and 2-flit
+	// buffers.
+	routerBase = Resources{Slices: 280, LUTs: 450}
+	// routerPerBufFlit is the incremental cost of one extra buffered
+	// flit-slot (all five ports together), per byte of flit width.
+	routerPerBufFlit = Resources{Slices: 18, LUTs: 30}
+	r8Core           = Resources{Slices: 420, LUTs: 700}
+	memControl       = Resources{Slices: 45, LUTs: 80}
+	serialIP         = Resources{Slices: 110, LUTs: 170}
+	glueLogic        = Resources{Slices: 100, LUTs: 59}
+)
+
+// Router estimates one Hermes router. Buffer depth and flit width scale
+// the buffer portion; the paper's instance is Router(8, 2).
+func Router(flitBits, bufDepth int) Resources {
+	extra := bufDepth - 2
+	if extra < 0 {
+		extra = 0
+	}
+	inc := routerPerBufFlit.Scale(extra * flitBits / 8 * 5)
+	base := routerBase
+	if flitBits > 8 {
+		// Datapath widening: crossbar and buffers grow with flit width.
+		base.Slices += routerBase.Slices * (flitBits - 8) / 16
+		base.LUTs += routerBase.LUTs * (flitBits - 8) / 16
+	}
+	return base.Add(inc)
+}
+
+// R8 estimates one R8 soft core (without its local memory).
+func R8() Resources { return r8Core }
+
+// Memory estimates a Memory IP of the given word capacity: control
+// logic plus the BlockRAMs of Figure 4 (4-bit banks).
+func Memory(words int, dev Device) Resources {
+	r := memControl
+	bits := words * 4 // one bank holds words x 4 bits
+	perBank := (bits + dev.BlockRAMBits - 1) / dev.BlockRAMBits
+	r.BlockRAMs = 4 * perBank
+	return r
+}
+
+// Serial estimates the Serial IP.
+func Serial() Resources { return serialIP }
+
+// Glue estimates top-level interconnect and clock management.
+func Glue() Resources { return glueLogic }
+
+// Item is one inventory line.
+type Item struct {
+	Name  string
+	Count int
+	Each  Resources
+}
+
+// Total returns Count x Each.
+func (it Item) Total() Resources { return it.Each.Scale(it.Count) }
+
+// Inventory is a bill of FPGA resources for a system.
+type Inventory struct {
+	Device Device
+	Items  []Item
+}
+
+// Total sums the inventory.
+func (inv Inventory) Total() Resources {
+	var t Resources
+	for _, it := range inv.Items {
+		t = t.Add(it.Total())
+	}
+	return t
+}
+
+// NoCFraction returns the slice share consumed by items whose name
+// marks them as NoC infrastructure ("router").
+func (inv Inventory) NoCFraction() float64 {
+	var nocS, totS int
+	for _, it := range inv.Items {
+		t := it.Total()
+		totS += t.Slices
+		if it.Name == "router" {
+			nocS += t.Slices
+		}
+	}
+	if totS == 0 {
+		return 0
+	}
+	return float64(nocS) / float64(totS)
+}
+
+// String renders the inventory as the utilization table of §3.
+func (inv Inventory) String() string {
+	s := fmt.Sprintf("%-22s %8s %8s %6s\n", "core", "slices", "LUTs", "BRAMs")
+	for _, it := range inv.Items {
+		t := it.Total()
+		s += fmt.Sprintf("%-19s x%d %8d %8d %6d\n", it.Name, it.Count, t.Slices, t.LUTs, t.BlockRAMs)
+	}
+	t := inv.Total()
+	u := t.Utilization(inv.Device)
+	s += fmt.Sprintf("%-22s %8d %8d %6d\n", "total", t.Slices, t.LUTs, t.BlockRAMs)
+	s += fmt.Sprintf("%s utilization: %.0f%% slices, %.0f%% LUTs, %.0f%% BlockRAMs\n",
+		inv.Device.Name, 100*u.Slices, 100*u.LUTs, 100*u.BlockRAMs)
+	return s
+}
+
+// MultiNoC returns the Figure 1 system's inventory on the XC2S200E:
+// four routers, two R8 cores, three memory IPs (two local, one remote),
+// the serial IP and glue.
+func MultiNoC() Inventory {
+	dev := XC2S200E
+	return Inventory{
+		Device: dev,
+		Items: []Item{
+			{"router", 4, Router(8, 2)},
+			{"r8-core", 2, R8()},
+			{"memory-ip", 3, Memory(1024, dev)},
+			{"serial-ip", 1, Serial()},
+			{"glue", 1, Glue()},
+		},
+	}
+}
+
+// Scaled returns the inventory of a width x height mesh whose IPs each
+// consume ipSlices slices (the paper: "the IPs connected to the NoC can
+// increase in area and functionality. The router surface will remain
+// constant").
+func Scaled(width, height, ipSlices int, dev Device) Inventory {
+	n := width * height
+	return Inventory{
+		Device: dev,
+		Items: []Item{
+			{"router", n, Router(8, 2)},
+			{"ip", n, Resources{Slices: ipSlices, LUTs: ipSlices * 2}},
+		},
+	}
+}

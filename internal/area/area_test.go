@@ -1,0 +1,133 @@
+package area
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// TestE4DeviceUtilization is experiment E4: the paper reports that
+// MultiNoC occupies 98% of the XC2S200E's slices and 78% of its LUTs.
+func TestE4DeviceUtilization(t *testing.T) {
+	inv := MultiNoC()
+	u := inv.Total().Utilization(inv.Device)
+	if math.Abs(u.Slices-0.98) > 0.005 {
+		t.Errorf("slice utilization = %.3f, paper says 0.98", u.Slices)
+	}
+	if math.Abs(u.LUTs-0.78) > 0.005 {
+		t.Errorf("LUT utilization = %.3f, paper says 0.78", u.LUTs)
+	}
+	if !inv.Total().Fits(inv.Device) {
+		t.Error("calibrated system does not fit the device")
+	}
+	// Three memory IPs x 4 BlockRAMs on a 14-BRAM device.
+	if got := inv.Total().BlockRAMs; got != 12 {
+		t.Errorf("BlockRAMs = %d, want 12", got)
+	}
+}
+
+func TestNoCIsImportantPartOfPrototype(t *testing.T) {
+	// §3: "The NoC area can be seen to be an important part of the
+	// design when compared to the other IPs."
+	f := MultiNoC().NoCFraction()
+	if f < 0.35 || f > 0.60 {
+		t.Errorf("prototype NoC fraction = %.2f, expected a dominant share", f)
+	}
+}
+
+// TestE5NoCAreaFraction is experiment E5: with constant router area and
+// richer IPs, the NoC share of a 10x10 system drops below 10% (and 5%
+// for still larger IPs), as §3 claims.
+func TestE5NoCAreaFraction(t *testing.T) {
+	router := Router(8, 2).Slices
+	// An IP ten times the router's size on a 10x10 mesh.
+	f10 := Scaled(10, 10, 10*router, XC2V3000).NoCFraction()
+	if f10 >= 0.10 {
+		t.Errorf("10x10 with 10x-router IPs: NoC fraction %.3f, want < 0.10", f10)
+	}
+	f20 := Scaled(10, 10, 20*router, XC2V3000).NoCFraction()
+	if f20 >= 0.05 {
+		t.Errorf("10x10 with 20x-router IPs: NoC fraction %.3f, want < 0.05", f20)
+	}
+	// Fraction must be independent of mesh size (router per IP is
+	// constant), and monotone in IP size.
+	f4 := Scaled(4, 4, 10*router, XC2V3000).NoCFraction()
+	if math.Abs(f4-f10) > 1e-9 {
+		t.Errorf("NoC fraction varies with mesh size: %.4f vs %.4f", f4, f10)
+	}
+	if f20 >= f10 {
+		t.Error("NoC fraction not monotone in IP area")
+	}
+}
+
+func TestRouterAreaConstantAcrossMeshSize(t *testing.T) {
+	// "The router surface will remain constant": per-router cost must
+	// not depend on how many routers a system has.
+	r := Router(8, 2)
+	for _, n := range []int{4, 16, 100} {
+		inv := Scaled(int(math.Sqrt(float64(n))), int(math.Sqrt(float64(n))), 1000, XC2V3000)
+		per := inv.Items[0].Total().Slices / inv.Items[0].Count
+		if per != r.Slices {
+			t.Errorf("n=%d: per-router slices %d, want %d", n, per, r.Slices)
+		}
+	}
+}
+
+func TestRouterScalesWithBuffersAndFlitWidth(t *testing.T) {
+	base := Router(8, 2)
+	deeper := Router(8, 8)
+	if deeper.Slices <= base.Slices {
+		t.Error("deeper buffers are not larger")
+	}
+	wider := Router(16, 2)
+	if wider.Slices <= base.Slices {
+		t.Error("wider flits are not larger")
+	}
+	if shallow := Router(8, 1); shallow.Slices != base.Slices {
+		t.Error("sub-baseline depth should clamp to the base cost")
+	}
+}
+
+func TestMemoryBlockRAMs(t *testing.T) {
+	if got := Memory(1024, XC2S200E).BlockRAMs; got != 4 {
+		t.Errorf("1K-word memory = %d BRAMs, want 4 (Figure 4)", got)
+	}
+	if got := Memory(2048, XC2S200E).BlockRAMs; got != 8 {
+		t.Errorf("2K-word memory = %d BRAMs, want 8", got)
+	}
+	// On Virtex-II's larger 18-Kbit BRAMs a 1K memory still needs its
+	// four banks.
+	if got := Memory(1024, XC2V3000).BlockRAMs; got != 4 {
+		t.Errorf("1K on XC2V3000 = %d BRAMs, want 4", got)
+	}
+}
+
+func TestResourcesArithmetic(t *testing.T) {
+	a := Resources{1, 2, 3}
+	b := Resources{10, 20, 30}
+	if a.Add(b) != (Resources{11, 22, 33}) {
+		t.Error("Add broken")
+	}
+	if a.Scale(3) != (Resources{3, 6, 9}) {
+		t.Error("Scale broken")
+	}
+}
+
+func TestFits(t *testing.T) {
+	small := Device{Name: "tiny", Capacity: Resources{10, 10, 1}, BlockRAMBits: 4096}
+	if (Resources{11, 1, 0}).Fits(small) {
+		t.Error("slice overflow fits")
+	}
+	if !(Resources{10, 10, 1}).Fits(small) {
+		t.Error("exact fit rejected")
+	}
+}
+
+func TestInventoryString(t *testing.T) {
+	s := MultiNoC().String()
+	for _, want := range []string{"router", "r8-core", "memory-ip", "serial-ip", "98% slices", "78% LUTs"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("inventory table missing %q:\n%s", want, s)
+		}
+	}
+}

@@ -1,0 +1,307 @@
+package edge
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/r8asm"
+	"repro/internal/r8sim"
+	"repro/internal/sim"
+)
+
+func TestSobelRowKnownValues(t *testing.T) {
+	// A vertical step edge: zeros then 100s.
+	above := []uint8{0, 0, 100, 100}
+	cur := []uint8{0, 0, 100, 100}
+	below := []uint8{0, 0, 100, 100}
+	out := SobelRow(above, cur, below)
+	if out[0] != 0 || out[3] != 0 {
+		t.Error("borders not zeroed")
+	}
+	// At x=1: gx = (100+200+100) - 0 = 400 -> clamp 255; gy = 0.
+	if out[1] != 255 {
+		t.Errorf("out[1] = %d, want 255", out[1])
+	}
+	// At x=2: gx = (100+200+100)-(0) = 400 -> also clamped.
+	if out[2] != 255 {
+		t.Errorf("out[2] = %d, want 255", out[2])
+	}
+}
+
+func TestSobelFlatImageIsZero(t *testing.T) {
+	img := NewImage(8, 8)
+	for y := range img {
+		for x := range img[y] {
+			img[y][x] = 77
+		}
+	}
+	out := Sobel(img)
+	for y := range out {
+		for x := range out[y] {
+			if out[y][x] != 0 {
+				t.Fatalf("flat image produced %d at (%d,%d)", out[y][x], x, y)
+			}
+		}
+	}
+}
+
+// kernelRow runs the generated R8 kernel on the fast functional
+// simulator for one line and returns the output row.
+func kernelRow(t *testing.T, above, cur, below []uint8) []uint8 {
+	t.Helper()
+	w := len(cur)
+	prog, err := r8asm.Assemble(ProgramSource(w))
+	if err != nil {
+		t.Fatalf("kernel does not assemble:\n%v", err)
+	}
+	m := r8sim.New(1024)
+	if err := m.Load(prog); err != nil {
+		t.Fatal(err)
+	}
+	in0, in1, in2, outAddr := Layout(w)
+	for i := 0; i < w; i++ {
+		m.Mem[in0+uint16(i)] = uint16(above[i])
+		m.Mem[in1+uint16(i)] = uint16(cur[i])
+		m.Mem[in2+uint16(i)] = uint16(below[i])
+	}
+	m.Mem[FlagAddr] = FlagGo
+	for step := 0; step < 2_000_000; step++ {
+		m.StepInst()
+		if m.Mem[FlagAddr] == FlagDone {
+			break
+		}
+		if m.Halted() {
+			t.Fatalf("kernel halted unexpectedly: %v", m.Err())
+		}
+	}
+	if m.Mem[FlagAddr] != FlagDone {
+		t.Fatal("kernel never finished")
+	}
+	out := make([]uint8, w)
+	for i := 0; i < w; i++ {
+		out[i] = uint8(m.Mem[outAddr+uint16(i)])
+	}
+	return out
+}
+
+func TestKernelMatchesGoldenRow(t *testing.T) {
+	above := []uint8{10, 20, 30, 40, 50, 60, 70, 80}
+	cur := []uint8{15, 25, 35, 45, 55, 65, 75, 85}
+	below := []uint8{12, 22, 32, 200, 52, 62, 72, 82}
+	got := kernelRow(t, above, cur, below)
+	want := SobelRow(above, cur, below)
+	for x := range want {
+		if got[x] != want[x] {
+			t.Errorf("x=%d: kernel %d, golden %d", x, got[x], want[x])
+		}
+	}
+}
+
+func TestKernelMatchesGoldenRandomized(t *testing.T) {
+	r := sim.NewRand(77)
+	for trial := 0; trial < 25; trial++ {
+		w := 3 + r.Intn(14)
+		rows := make([][]uint8, 3)
+		for i := range rows {
+			rows[i] = make([]uint8, w)
+			for x := range rows[i] {
+				rows[i][x] = uint8(r.Intn(256))
+			}
+		}
+		got := kernelRow(t, rows[0], rows[1], rows[2])
+		want := SobelRow(rows[0], rows[1], rows[2])
+		for x := range want {
+			if got[x] != want[x] {
+				t.Fatalf("trial %d width %d x=%d: kernel %d, golden %d",
+					trial, w, x, got[x], want[x])
+			}
+		}
+	}
+}
+
+func TestKernelExitFlag(t *testing.T) {
+	prog, err := r8asm.Assemble(ProgramSource(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := r8sim.New(1024)
+	if err := m.Load(prog); err != nil {
+		t.Fatal(err)
+	}
+	m.Mem[FlagAddr] = FlagExit
+	halted, err := m.Run(10000)
+	if !halted || err != nil {
+		t.Fatalf("exit flag did not halt kernel: %v %v", halted, err)
+	}
+}
+
+func TestProgramSourcePanicsOnBadWidth(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("width 200 accepted")
+		}
+	}()
+	ProgramSource(200)
+}
+
+// testImage builds a deterministic image with edges.
+func testImage(w, h int) Image {
+	img := NewImage(w, h)
+	r := sim.NewRand(5)
+	for y := range img {
+		for x := range img[y] {
+			v := uint8(0)
+			if x > w/2 {
+				v = 200
+			}
+			if y == h/2 {
+				v = 255
+			}
+			img[y][x] = v + uint8(r.Intn(16))
+		}
+	}
+	return img
+}
+
+// TestFullSystemParallelEdgeDetect is experiment E8's correctness half:
+// the two-processor MultiNoC must produce the golden Sobel image.
+func TestFullSystemParallelEdgeDetect(t *testing.T) {
+	sys, err := core.New(core.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Boot(); err != nil {
+		t.Fatal(err)
+	}
+	img := testImage(16, 10)
+	d := NewDriver(sys, Direct, 16)
+	if err := d.LoadKernels(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	got, cycles, err := d.Process(img, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cycles == 0 {
+		t.Error("no cycles accounted")
+	}
+	want := Sobel(img)
+	if !got.Equal(want) {
+		t.Error("parallel edge detection diverges from golden Sobel")
+	}
+	if err := d.StopKernels(1, 2); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestE8SpeedupTwoProcessors is experiment E8's performance half:
+// with the serial bottleneck removed, two processors must beat one.
+func TestE8SpeedupTwoProcessors(t *testing.T) {
+	img := testImage(16, 18)
+	want := Sobel(img)
+	cycles := map[int]uint64{}
+	for _, n := range []int{1, 2} {
+		sys, err := core.New(core.Default())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sys.Boot(); err != nil {
+			t.Fatal(err)
+		}
+		d := NewDriver(sys, Direct, 16)
+		procs := []int{1, 2}[:n]
+		if err := d.LoadKernels(procs...); err != nil {
+			t.Fatal(err)
+		}
+		got, c, err := d.Process(img, procs...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !got.Equal(want) {
+			t.Fatalf("%d-processor result wrong", n)
+		}
+		cycles[n] = c
+	}
+	speedup := float64(cycles[1]) / float64(cycles[2])
+	if speedup < 1.5 {
+		t.Errorf("2-processor speedup %.2f, want >= 1.5 (1p=%d cycles, 2p=%d)",
+			speedup, cycles[1], cycles[2])
+	}
+}
+
+// TestSerialTransportEdgeDetect runs one line through the full RS-232
+// path, the exact Figure 10 dataflow.
+func TestSerialTransportEdgeDetect(t *testing.T) {
+	sys, err := core.New(core.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Boot(); err != nil {
+		t.Fatal(err)
+	}
+	img := testImage(8, 3)
+	d := NewDriver(sys, Serial, 8)
+	if err := d.LoadKernels(1); err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := d.Process(img, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Sobel(img)
+	if !got.Equal(want) {
+		t.Error("serial-path edge detection diverges from golden")
+	}
+}
+
+func TestDriverErrorPaths(t *testing.T) {
+	sys, err := core.New(core.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Boot(); err != nil {
+		t.Fatal(err)
+	}
+	d := NewDriver(sys, Direct, 16)
+	// Kernel not loaded.
+	if _, _, err := d.Process(NewImage(16, 4), 1); err == nil {
+		t.Error("Process without kernel accepted")
+	}
+	if err := d.LoadKernels(1); err != nil {
+		t.Fatal(err)
+	}
+	// Wrong width.
+	if _, _, err := d.Process(NewImage(8, 4), 1); err == nil {
+		t.Error("width mismatch accepted")
+	}
+	// Unknown processor.
+	if err := d.LoadKernels(9); err == nil {
+		t.Error("bogus processor id accepted")
+	}
+}
+
+func TestTinyImages(t *testing.T) {
+	sys, err := core.New(core.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Boot(); err != nil {
+		t.Fatal(err)
+	}
+	d := NewDriver(sys, Direct, 4)
+	if err := d.LoadKernels(1); err != nil {
+		t.Fatal(err)
+	}
+	// A 2-row image has no interior lines: output all zero, no work.
+	out, _, err := d.Process(NewImage(4, 2), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for y := range out {
+		for x := range out[y] {
+			if out[y][x] != 0 {
+				t.Fatal("2-row image produced nonzero output")
+			}
+		}
+	}
+}

@@ -1,0 +1,56 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestAllSectionsRun executes every experiment end to end; each section
+// carries its own internal assertions (mismatches return errors).
+func TestAllSectionsRun(t *testing.T) {
+	for _, s := range All() {
+		t.Run(s.ID, func(t *testing.T) {
+			var sb strings.Builder
+			if err := s.Run(&sb); err != nil {
+				t.Fatalf("%s failed: %v", s.ID, err)
+			}
+			out := sb.String()
+			if !strings.Contains(out, "|") {
+				t.Errorf("%s produced no table:\n%s", s.ID, out)
+			}
+		})
+	}
+}
+
+// TestReportIsComplete checks the full report contains every section
+// header and the regeneration note.
+func TestReportIsComplete(t *testing.T) {
+	var sb strings.Builder
+	if err := Report(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, s := range All() {
+		if !strings.Contains(out, "## "+s.ID+":") {
+			t.Errorf("report missing section %s", s.ID)
+		}
+	}
+	if !strings.Contains(out, "cmd/experiments") {
+		t.Error("report missing regeneration note")
+	}
+}
+
+// TestReportDeterminism: two runs must produce byte-identical output
+// (fixed seeds, no time dependence).
+func TestReportDeterminism(t *testing.T) {
+	var a, b strings.Builder
+	if err := Report(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := Report(&b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Error("report is not deterministic")
+	}
+}

@@ -1,0 +1,348 @@
+// Package floorplan implements the manual floorplanning step that §3
+// of the paper calls out: fitting MultiNoC onto a 98%-full XC2S200E
+// required hand placement, with the NoC centred, the Serial IP next to
+// its pads, the processors beside the BlockRAM columns and the memory
+// in the remaining area (Figure 7).
+//
+// The package models the FPGA as a coarse cell grid with fixed pad and
+// BlockRAM-column sites, IP cores as rectangular blocks, and
+// connectivity as nets whose cost is half-perimeter wirelength (HPWL).
+// A deterministic simulated annealer searches placements; experiment E6
+// checks that the annealed result both beats random placement and
+// reproduces the paper's qualitative layout decisions.
+package floorplan
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/sim"
+)
+
+// Point is a cell coordinate on the fabric.
+type Point struct{ X, Y int }
+
+// Block is a rectangular IP region of W x H cells.
+type Block struct {
+	Name string
+	W, H int
+	// NeedsBRAM pulls the block towards a BlockRAM column (Spartan-II
+	// devices place BlockRAMs along the left and right die edges).
+	NeedsBRAM bool
+}
+
+// Net connects the centres of the named blocks, optionally including a
+// fixed point (an I/O pad site).
+type Net struct {
+	Blocks []string
+	Pad    *Point
+	Weight float64
+}
+
+// Fabric is the device grid.
+type Fabric struct {
+	W, H int
+	// BRAMCols are the x coordinates of BlockRAM columns.
+	BRAMCols []int
+}
+
+// Problem is a floorplanning instance.
+type Problem struct {
+	Fabric Fabric
+	Blocks []Block
+	Nets   []Net
+	// BRAMWeight scales the pull of NeedsBRAM blocks towards a column.
+	BRAMWeight float64
+}
+
+// Placement maps block names to top-left corners.
+type Placement map[string]Point
+
+// Copy clones the placement.
+func (pl Placement) Copy() Placement {
+	out := make(Placement, len(pl))
+	for k, v := range pl {
+		out[k] = v
+	}
+	return out
+}
+
+func (p *Problem) block(name string) *Block {
+	for i := range p.Blocks {
+		if p.Blocks[i].Name == name {
+			return &p.Blocks[i]
+		}
+	}
+	return nil
+}
+
+// Legal reports whether the placement is inside the fabric and
+// overlap-free.
+func (p *Problem) Legal(pl Placement) bool {
+	type rect struct{ x0, y0, x1, y1 int }
+	var rects []rect
+	for _, b := range p.Blocks {
+		at, ok := pl[b.Name]
+		if !ok {
+			return false
+		}
+		if at.X < 0 || at.Y < 0 || at.X+b.W > p.Fabric.W || at.Y+b.H > p.Fabric.H {
+			return false
+		}
+		rects = append(rects, rect{at.X, at.Y, at.X + b.W, at.Y + b.H})
+	}
+	for i := 0; i < len(rects); i++ {
+		for j := i + 1; j < len(rects); j++ {
+			a, b := rects[i], rects[j]
+			if a.x0 < b.x1 && b.x0 < a.x1 && a.y0 < b.y1 && b.y0 < a.y1 {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// centre returns a block's centre in half-cell units to stay integral.
+func centre(b *Block, at Point) (float64, float64) {
+	return float64(at.X) + float64(b.W)/2, float64(at.Y) + float64(b.H)/2
+}
+
+// Cost is the weighted HPWL over all nets plus the BRAM-affinity
+// penalty. Lower is better; illegal placements return +Inf.
+func (p *Problem) Cost(pl Placement) float64 {
+	if !p.Legal(pl) {
+		return math.Inf(1)
+	}
+	total := 0.0
+	for _, n := range p.Nets {
+		minX, maxX := math.Inf(1), math.Inf(-1)
+		minY, maxY := math.Inf(1), math.Inf(-1)
+		add := func(x, y float64) {
+			minX, maxX = math.Min(minX, x), math.Max(maxX, x)
+			minY, maxY = math.Min(minY, y), math.Max(maxY, y)
+		}
+		for _, name := range n.Blocks {
+			b := p.block(name)
+			if b == nil {
+				return math.Inf(1)
+			}
+			add(centre(b, pl[name]))
+		}
+		if n.Pad != nil {
+			add(float64(n.Pad.X), float64(n.Pad.Y))
+		}
+		w := n.Weight
+		if w == 0 {
+			w = 1
+		}
+		total += w * ((maxX - minX) + (maxY - minY))
+	}
+	for i := range p.Blocks {
+		b := &p.Blocks[i]
+		if !b.NeedsBRAM {
+			continue
+		}
+		total += p.BRAMWeight * p.bramDistance(b, pl[b.Name])
+	}
+	return total
+}
+
+// bramDistance is the horizontal gap between the block and the nearest
+// BlockRAM column (0 when the block covers the column).
+func (p *Problem) bramDistance(b *Block, at Point) float64 {
+	best := math.Inf(1)
+	for _, col := range p.Fabric.BRAMCols {
+		var d float64
+		switch {
+		case col < at.X:
+			d = float64(at.X - col)
+		case col >= at.X+b.W:
+			d = float64(col - (at.X + b.W - 1))
+		default:
+			d = 0
+		}
+		best = math.Min(best, d)
+	}
+	if math.IsInf(best, 1) {
+		return 0
+	}
+	return best
+}
+
+// RandomPlacement builds a legal placement by random insertion. Early
+// blocks can paint later ones into a corner (two large blocks in the
+// middle may leave no legal window for a third), so a failed insertion
+// sequence restarts from scratch.
+func (p *Problem) RandomPlacement(r *sim.Rand) (Placement, error) {
+	// Place the largest blocks first for better packing odds.
+	order := make([]int, len(p.Blocks))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		ba, bb := p.Blocks[order[a]], p.Blocks[order[b]]
+		return ba.W*ba.H > bb.W*bb.H
+	})
+	for restart := 0; restart < 50; restart++ {
+		pl := make(Placement)
+		ok := true
+		for _, i := range order {
+			b := p.Blocks[i]
+			placed := false
+			for try := 0; try < 400; try++ {
+				at := Point{X: r.Intn(p.Fabric.W - b.W + 1), Y: r.Intn(p.Fabric.H - b.H + 1)}
+				pl[b.Name] = at
+				if p.legalSoFar(pl) {
+					placed = true
+					break
+				}
+				delete(pl, b.Name)
+			}
+			if !placed {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return pl, nil
+		}
+	}
+	return nil, fmt.Errorf("floorplan: no legal random placement on %dx%d fabric after 50 restarts",
+		p.Fabric.W, p.Fabric.H)
+}
+
+// legalSoFar checks legality over only the blocks present in pl.
+func (p *Problem) legalSoFar(pl Placement) bool {
+	sub := Problem{Fabric: p.Fabric}
+	for _, b := range p.Blocks {
+		if _, ok := pl[b.Name]; ok {
+			sub.Blocks = append(sub.Blocks, b)
+		}
+	}
+	return sub.Legal(pl)
+}
+
+// Result is an annealing outcome.
+type Result struct {
+	Placement Placement
+	Cost      float64
+	Initial   float64
+	Moves     int
+	Accepted  int
+}
+
+// Anneal runs deterministic simulated annealing from a random legal
+// start. iters counts attempted moves; the schedule is geometric.
+func (p *Problem) Anneal(seed uint64, iters int) (Result, error) {
+	r := sim.NewRand(seed)
+	cur, err := p.RandomPlacement(r)
+	if err != nil {
+		return Result{}, err
+	}
+	curCost := p.Cost(cur)
+	best := cur.Copy()
+	bestCost := curCost
+	res := Result{Initial: curCost}
+
+	t0 := curCost / 2
+	if t0 <= 0 {
+		t0 = 1
+	}
+	tEnd := 0.01
+	for i := 0; i < iters; i++ {
+		temp := t0 * math.Pow(tEnd/t0, float64(i)/float64(iters))
+		cand := cur.Copy()
+		if len(p.Blocks) > 1 && r.Bool(0.3) {
+			// Swap two block corners.
+			a := p.Blocks[r.Intn(len(p.Blocks))].Name
+			b := p.Blocks[r.Intn(len(p.Blocks))].Name
+			cand[a], cand[b] = cand[b], cand[a]
+		} else {
+			// Nudge one block.
+			b := p.Blocks[r.Intn(len(p.Blocks))]
+			at := cand[b.Name]
+			at.X += r.Intn(7) - 3
+			at.Y += r.Intn(7) - 3
+			cand[b.Name] = at
+		}
+		res.Moves++
+		cc := p.Cost(cand)
+		if math.IsInf(cc, 1) {
+			continue
+		}
+		if cc <= curCost || r.Float64() < math.Exp((curCost-cc)/temp) {
+			cur, curCost = cand, cc
+			res.Accepted++
+			if cc < bestCost {
+				best, bestCost = cand.Copy(), cc
+			}
+		}
+	}
+	res.Placement = best
+	res.Cost = bestCost
+	return res, nil
+}
+
+// Render draws the placement as ASCII art (the Figure 7 view).
+func (p *Problem) Render(pl Placement) string {
+	grid := make([][]byte, p.Fabric.H)
+	for y := range grid {
+		grid[y] = make([]byte, p.Fabric.W)
+		for x := range grid[y] {
+			grid[y][x] = '.'
+		}
+	}
+	for _, col := range p.Fabric.BRAMCols {
+		for y := 0; y < p.Fabric.H; y++ {
+			grid[y][col] = ':'
+		}
+	}
+	for _, b := range p.Blocks {
+		at, ok := pl[b.Name]
+		if !ok {
+			continue
+		}
+		c := b.Name[0] - 'a' + 'A'
+		if b.Name[0] >= 'A' && b.Name[0] <= 'Z' {
+			c = b.Name[0]
+		}
+		for y := at.Y; y < at.Y+b.H && y < p.Fabric.H; y++ {
+			for x := at.X; x < at.X+b.W && x < p.Fabric.W; x++ {
+				grid[y][x] = c
+			}
+		}
+	}
+	out := ""
+	for y := p.Fabric.H - 1; y >= 0; y-- {
+		out += string(grid[y]) + "\n"
+	}
+	return out
+}
+
+// MultiNoC returns the Figure 7 instance: the XC2S200E as a 24x18 cell
+// grid with BlockRAM columns at both edges and the serial pads at the
+// bottom-left corner.
+func MultiNoC() *Problem {
+	pad := Point{X: 0, Y: 0}
+	return &Problem{
+		Fabric:     Fabric{W: 24, H: 18, BRAMCols: []int{0, 23}},
+		BRAMWeight: 6,
+		Blocks: []Block{
+			{Name: "noc", W: 7, H: 7},
+			{Name: "proc1", W: 7, H: 9, NeedsBRAM: true},
+			{Name: "proc2", W: 7, H: 9, NeedsBRAM: true},
+			{Name: "mem", W: 4, H: 5, NeedsBRAM: true},
+			{Name: "serial", W: 4, H: 4},
+		},
+		Nets: []Net{
+			{Blocks: []string{"serial", "noc"}},
+			{Blocks: []string{"proc1", "noc"}},
+			{Blocks: []string{"proc2", "noc"}},
+			{Blocks: []string{"mem", "noc"}},
+			// The serial IP must sit next to the transmission pins "to
+			// reduce global wire length and routing congestion" (§3).
+			{Blocks: []string{"serial"}, Pad: &pad, Weight: 4},
+		},
+	}
+}

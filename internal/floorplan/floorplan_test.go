@@ -1,0 +1,193 @@
+package floorplan
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestLegalityChecks(t *testing.T) {
+	p := &Problem{
+		Fabric: Fabric{W: 10, H: 10},
+		Blocks: []Block{{Name: "a", W: 3, H: 3}, {Name: "b", W: 3, H: 3}},
+	}
+	ok := Placement{"a": {0, 0}, "b": {5, 5}}
+	if !p.Legal(ok) {
+		t.Error("legal placement rejected")
+	}
+	overlap := Placement{"a": {0, 0}, "b": {2, 2}}
+	if p.Legal(overlap) {
+		t.Error("overlap accepted")
+	}
+	out := Placement{"a": {8, 8}, "b": {0, 0}}
+	if p.Legal(out) {
+		t.Error("out-of-bounds accepted")
+	}
+	missing := Placement{"a": {0, 0}}
+	if p.Legal(missing) {
+		t.Error("missing block accepted")
+	}
+	if !math.IsInf(p.Cost(overlap), 1) {
+		t.Error("illegal placement cost not +Inf")
+	}
+}
+
+func TestCostIsHPWL(t *testing.T) {
+	p := &Problem{
+		Fabric: Fabric{W: 20, H: 20},
+		Blocks: []Block{{Name: "a", W: 2, H: 2}, {Name: "b", W: 2, H: 2}},
+		Nets:   []Net{{Blocks: []string{"a", "b"}}},
+	}
+	near := Placement{"a": {0, 0}, "b": {2, 0}}
+	far := Placement{"a": {0, 0}, "b": {18, 18}}
+	if p.Cost(near) >= p.Cost(far) {
+		t.Errorf("HPWL ordering wrong: near %.1f, far %.1f", p.Cost(near), p.Cost(far))
+	}
+	// Centres at (1,1) and (3,1): HPWL = 2.
+	if got := p.Cost(near); math.Abs(got-2) > 1e-9 {
+		t.Errorf("cost = %.2f, want 2", got)
+	}
+}
+
+func TestBRAMDistance(t *testing.T) {
+	p := &Problem{Fabric: Fabric{W: 10, H: 10, BRAMCols: []int{0, 9}}}
+	b := &Block{Name: "m", W: 2, H: 2, NeedsBRAM: true}
+	if d := p.bramDistance(b, Point{0, 0}); d != 0 {
+		t.Errorf("block on column: distance %f", d)
+	}
+	if d := p.bramDistance(b, Point{4, 0}); d != 4 {
+		t.Errorf("centre block: distance %f, want 4 (to either edge)", d)
+	}
+	if d := p.bramDistance(b, Point{8, 0}); d != 0 {
+		t.Errorf("block covering right column: distance %f", d)
+	}
+}
+
+func TestRandomPlacementIsLegal(t *testing.T) {
+	p := MultiNoC()
+	r := sim.NewRand(5)
+	for i := 0; i < 20; i++ {
+		pl, err := p.RandomPlacement(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !p.Legal(pl) {
+			t.Fatal("random placement illegal")
+		}
+	}
+}
+
+func TestRandomPlacementImpossible(t *testing.T) {
+	p := &Problem{
+		Fabric: Fabric{W: 4, H: 4},
+		Blocks: []Block{{Name: "a", W: 4, H: 4}, {Name: "b", W: 2, H: 2}},
+	}
+	if _, err := p.RandomPlacement(sim.NewRand(1)); err == nil {
+		t.Error("impossible instance placed")
+	}
+}
+
+// TestE6AnnealBeatsRandom is experiment E6's quantitative half: the
+// §3 observation that automatic-effort-only placement was insufficient
+// and deliberate floorplanning was required — annealing must clearly
+// beat the average random floorplan.
+func TestE6AnnealBeatsRandom(t *testing.T) {
+	p := MultiNoC()
+	res, err := p.Anneal(42, 20000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Legal(res.Placement) {
+		t.Fatal("annealed placement illegal")
+	}
+	r := sim.NewRand(7)
+	sum := 0.0
+	const n = 50
+	for i := 0; i < n; i++ {
+		pl, err := p.RandomPlacement(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum += p.Cost(pl)
+	}
+	avg := sum / n
+	if res.Cost > 0.6*avg {
+		t.Errorf("anneal cost %.1f not well below random average %.1f", res.Cost, avg)
+	}
+	if res.Cost > res.Initial {
+		t.Errorf("anneal made things worse: %.1f -> %.1f", res.Initial, res.Cost)
+	}
+}
+
+// TestE6FigureSevenReasoning is experiment E6's qualitative half: the
+// optimized floorplan must reproduce the paper's placement logic.
+func TestE6FigureSevenReasoning(t *testing.T) {
+	p := MultiNoC()
+	res, err := p.Anneal(42, 20000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl := res.Placement
+
+	// Processors and memory hug a BlockRAM column.
+	for _, name := range []string{"proc1", "proc2", "mem"} {
+		b := p.block(name)
+		if d := p.bramDistance(b, pl[name]); d > 1 {
+			t.Errorf("%s ended %d cells from a BlockRAM column", name, int(d))
+		}
+	}
+	// The serial IP sits near the pad corner.
+	sx, sy := centre(p.block("serial"), pl["serial"])
+	if sx+sy > 14 {
+		t.Errorf("serial centre (%.1f,%.1f) far from the pad corner", sx, sy)
+	}
+	// The NoC is more central than any BRAM-bound block: its distance
+	// to the die centre is smallest.
+	cx, cy := float64(p.Fabric.W)/2, float64(p.Fabric.H)/2
+	dist := func(name string) float64 {
+		x, y := centre(p.block(name), pl[name])
+		return math.Abs(x-cx) + math.Abs(y-cy)
+	}
+	for _, other := range []string{"proc1", "proc2"} {
+		if dist("noc") >= dist(other) {
+			t.Errorf("NoC (%.1f) not more central than %s (%.1f)", dist("noc"), other, dist(other))
+		}
+	}
+}
+
+func TestAnnealDeterminism(t *testing.T) {
+	p := MultiNoC()
+	a, err := p.Anneal(9, 5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := p.Anneal(9, 5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Cost != b.Cost {
+		t.Errorf("same seed, different cost: %.2f vs %.2f", a.Cost, b.Cost)
+	}
+	for k, v := range a.Placement {
+		if b.Placement[k] != v {
+			t.Errorf("placements differ at %s", k)
+		}
+	}
+}
+
+func TestRender(t *testing.T) {
+	p := MultiNoC()
+	pl, err := p.RandomPlacement(sim.NewRand(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := p.Render(pl)
+	if !strings.Contains(s, "N") || !strings.Contains(s, "S") || !strings.Contains(s, ":") {
+		t.Errorf("render missing blocks or BRAM columns:\n%s", s)
+	}
+	if lines := strings.Count(s, "\n"); lines != p.Fabric.H {
+		t.Errorf("render has %d lines, want %d", lines, p.Fabric.H)
+	}
+}

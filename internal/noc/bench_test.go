@@ -1,0 +1,73 @@
+package noc
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// BenchmarkSimulationRate measures how many router-cycles per second
+// the two-phase kernel sustains on an idle 4x4 mesh.
+func BenchmarkSimulationRate(b *testing.B) {
+	clk := sim.NewClock()
+	net, err := New(clk, Defaults(4, 4))
+	if err != nil {
+		b.Fatal(err)
+	}
+	_ = net
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		clk.Step()
+	}
+}
+
+// BenchmarkLoadedMeshCycle measures cycle cost with traffic in flight.
+func BenchmarkLoadedMeshCycle(b *testing.B) {
+	clk := sim.NewClock()
+	net, err := New(clk, Defaults(4, 4))
+	if err != nil {
+		b.Fatal(err)
+	}
+	var eps []*Endpoint
+	for x := 0; x < 4; x++ {
+		for y := 0; y < 4; y++ {
+			ep, err := net.NewEndpoint(Addr{x, y})
+			if err != nil {
+				b.Fatal(err)
+			}
+			eps = append(eps, ep)
+		}
+	}
+	r := sim.NewRand(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if i%64 == 0 {
+			src := eps[r.Intn(len(eps))]
+			dst := Addr{r.Intn(4), r.Intn(4)}
+			_, _ = src.Send(dst, make([]uint16, 16))
+		}
+		clk.Step()
+		for _, ep := range eps {
+			for {
+				if _, ok := ep.Recv(); !ok {
+					break
+				}
+			}
+		}
+	}
+}
+
+// BenchmarkServiceEncodeDecode measures the service codec.
+func BenchmarkServiceEncodeDecode(b *testing.B) {
+	m := &Message{Svc: SvcWriteMem, Src: Addr{1, 0}, Addr: 0x100, Words: make([]uint16, 32)}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p, err := m.Encode()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := DecodeMessage(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,158 @@
+package noc
+
+import "fmt"
+
+// Endpoint is the Local-port adapter through which an IP core exchanges
+// packets with the NoC. It owns the injection queue (flattening packets
+// into flits and driving the handshake towards the router) and packet
+// reassembly on the receive side.
+//
+// Send and Recv are safe to call from the owning IP core's Eval phase:
+// sends are staged and become visible to the endpoint on the next cycle;
+// Recv pops packets that completed on earlier cycles. One endpoint must
+// have exactly one owning component.
+type Endpoint struct {
+	net  *Network
+	addr Addr
+	snd  sender
+	rcv  receiver
+
+	txq    []txFlit // committed outgoing flit stream
+	stSend []txFlit // staged by Send, moved to txq at Commit
+	popped int      // flits of txq accepted this Eval
+
+	rxPhase     int
+	rxRemaining int
+	rxPayload   []uint16
+	rxMeta      *PacketMeta
+	rxDone      []Packet // completed packets awaiting Recv
+	stRxDone    []Packet // staged completions
+
+	sent     uint64
+	received uint64
+}
+
+type txFlit struct {
+	f      Flit
+	header bool
+	tail   bool
+}
+
+// Addr reports the mesh address of the router this endpoint hangs off.
+func (e *Endpoint) Addr() Addr { return e.addr }
+
+// Send stages a packet for injection. The payload length must not
+// exceed MaxPayload for the network's flit width.
+func (e *Endpoint) Send(dst Addr, payload []uint16) (*PacketMeta, error) {
+	if len(payload) > MaxPayload(e.net.cfg.FlitBits) {
+		return nil, fmt.Errorf("noc: payload of %d flits exceeds max %d",
+			len(payload), MaxPayload(e.net.cfg.FlitBits))
+	}
+	meta := e.net.allocMeta(e.addr, dst, len(payload))
+	p := Packet{Src: e.addr, Dst: dst, Payload: payload, Meta: meta}
+	flits := p.flits(e.net.cfg.FlitBits)
+	for i, fl := range flits {
+		e.stSend = append(e.stSend, txFlit{f: fl, header: i == 0, tail: i == len(flits)-1})
+	}
+	return meta, nil
+}
+
+// Recv pops the oldest fully received packet, reporting false when none
+// is pending.
+func (e *Endpoint) Recv() (Packet, bool) {
+	if len(e.rxDone) == 0 {
+		return Packet{}, false
+	}
+	p := e.rxDone[0]
+	e.rxDone = e.rxDone[1:]
+	return p, true
+}
+
+// Pending reports how many received packets await Recv.
+func (e *Endpoint) Pending() int { return len(e.rxDone) }
+
+// QueuedFlits reports how many flits sit in the committed injection
+// queue (backpressure signal for traffic generators).
+func (e *Endpoint) QueuedFlits() int { return len(e.txq) }
+
+// Sent and Received report completed packet counts.
+func (e *Endpoint) Sent() uint64     { return e.sent }
+func (e *Endpoint) Received() uint64 { return e.received }
+
+// Name implements sim.Component.
+func (e *Endpoint) Name() string { return fmt.Sprintf("endpoint%s", e.addr) }
+
+// Eval implements sim.Component.
+func (e *Endpoint) Eval() {
+	e.popped = 0
+	e.snd.eval(
+		func() bool { return len(e.txq)-e.popped > 0 },
+		func() Flit { return e.txq[e.popped].f },
+		func() {
+			tf := e.txq[e.popped]
+			if tf.header {
+				tf.f.Meta.InjectCycle = e.net.clk.Cycle()
+			}
+			if tf.tail {
+				e.sent++
+			}
+			e.popped++
+		},
+	)
+	e.rcv.eval(
+		func() bool { return true }, // endpoints sink at link rate
+		e.assemble,
+	)
+}
+
+func (e *Endpoint) assemble(fl Flit) {
+	switch e.rxPhase {
+	case phaseHeader:
+		e.rxMeta = fl.Meta
+		e.rxPayload = e.rxPayload[:0]
+		e.rxPhase = phaseSize
+	case phaseSize:
+		e.rxRemaining = int(fl.Data)
+		e.rxPhase = phasePayload
+		if e.rxRemaining == 0 {
+			e.complete()
+		}
+	case phasePayload:
+		e.rxPayload = append(e.rxPayload, fl.Data)
+		e.rxRemaining--
+		if e.rxRemaining == 0 {
+			e.complete()
+		}
+	}
+}
+
+func (e *Endpoint) complete() {
+	payload := make([]uint16, len(e.rxPayload))
+	copy(payload, e.rxPayload)
+	var src Addr
+	if e.rxMeta != nil {
+		src = e.rxMeta.Src
+		e.net.packetDelivered(e.rxMeta)
+	}
+	e.stRxDone = append(e.stRxDone, Packet{Src: src, Dst: e.addr, Payload: payload, Meta: e.rxMeta})
+	e.rxPhase = phaseHeader
+	e.received++
+}
+
+// Commit implements sim.Component.
+func (e *Endpoint) Commit() {
+	e.snd.commit()
+	e.rcv.commit()
+	if e.popped > 0 {
+		e.txq = e.txq[e.popped:]
+		e.popped = 0
+	}
+	if len(e.stSend) > 0 {
+		e.txq = append(e.txq, e.stSend...)
+		e.stSend = e.stSend[:0]
+	}
+	if len(e.stRxDone) > 0 {
+		e.rxDone = append(e.rxDone, e.stRxDone...)
+		e.stRxDone = e.stRxDone[:0]
+	}
+}

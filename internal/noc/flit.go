@@ -1,0 +1,103 @@
+// Package noc implements the Hermes network on chip used by MultiNoC:
+// a mesh of 5-port wormhole routers with XY routing, round-robin
+// arbitration, 2-flit circular input buffers and a 2-cycle-per-flit
+// asynchronous handshake between neighbours, as described in §2.1 of the
+// paper. The package also provides the nine packet services the NoC
+// offers to its IP cores.
+package noc
+
+import "fmt"
+
+// Addr identifies a router (and the IP core on its Local port) by mesh
+// coordinates. X grows eastward, Y grows northward. The paper's router
+// names "00", "01", "10", "11" are Addr{X,Y} in that order.
+type Addr struct {
+	X, Y int
+}
+
+// String formats the address the way the paper writes it, e.g. "10" for
+// X=1,Y=0.
+func (a Addr) String() string { return fmt.Sprintf("%d%d", a.X, a.Y) }
+
+// Encode packs the address into a header flit: X in the high nibble, Y
+// in the low nibble. Meshes up to 16x16 are addressable, which covers
+// the paper's "10x10 NoCs" scalability discussion.
+func (a Addr) Encode() uint16 { return uint16(a.X&0xF)<<4 | uint16(a.Y&0xF) }
+
+// DecodeAddr is the inverse of Addr.Encode.
+func DecodeAddr(v uint16) Addr { return Addr{X: int(v>>4) & 0xF, Y: int(v) & 0xF} }
+
+// Flit is one flow-control unit travelling over a link. Data carries at
+// most Config.FlitBits significant bits. Meta points at the simulation
+// metadata of the packet the flit belongs to; it models no hardware and
+// exists for statistics and assertions only.
+type Flit struct {
+	Data uint16
+	Meta *PacketMeta
+}
+
+// PacketMeta records the life cycle of one packet for statistics. All
+// cycle stamps are in clock cycles of the network's clock domain.
+type PacketMeta struct {
+	ID  uint64
+	Src Addr
+	Dst Addr
+	// Len is the total number of flits: header + size + payload.
+	Len int
+	// CreatedCycle is when the sender committed the packet to its
+	// injection queue.
+	CreatedCycle uint64
+	// InjectCycle is when the local router accepted the header flit.
+	InjectCycle uint64
+	// EjectCycle is when the destination endpoint accepted the last
+	// flit.
+	EjectCycle uint64
+	// Hops is the number of routers traversed (source and target
+	// included), filled in by the network from the mesh geometry.
+	Hops int
+}
+
+// NetworkLatency is the cycles from header injection to tail delivery.
+func (m *PacketMeta) NetworkLatency() uint64 { return m.EjectCycle - m.InjectCycle }
+
+// TotalLatency additionally includes source queueing before injection.
+func (m *PacketMeta) TotalLatency() uint64 { return m.EjectCycle - m.CreatedCycle }
+
+// Packet is the unit IP cores exchange: a destination plus payload flit
+// values (each masked to the flit width). The header and size flits of
+// the wire format are added by the endpoint on injection and stripped on
+// delivery.
+type Packet struct {
+	Src     Addr
+	Dst     Addr
+	Payload []uint16
+	Meta    *PacketMeta
+}
+
+// MaxPayload returns the largest payload (in flits) a single packet may
+// carry for a given flit width: the size flit must be able to count it.
+func MaxPayload(flitBits int) int {
+	if flitBits >= 16 {
+		return 1<<16 - 1
+	}
+	return 1<<flitBits - 1
+}
+
+// flits flattens the packet into wire-format flits.
+func (p *Packet) flits(flitBits int) []Flit {
+	mask := flitMask(flitBits)
+	fs := make([]Flit, 0, len(p.Payload)+2)
+	fs = append(fs, Flit{Data: p.Dst.Encode() & mask, Meta: p.Meta})
+	fs = append(fs, Flit{Data: uint16(len(p.Payload)) & mask, Meta: p.Meta})
+	for _, v := range p.Payload {
+		fs = append(fs, Flit{Data: v & mask, Meta: p.Meta})
+	}
+	return fs
+}
+
+func flitMask(bits int) uint16 {
+	if bits >= 16 {
+		return 0xFFFF
+	}
+	return uint16(1)<<bits - 1
+}

@@ -1,0 +1,199 @@
+package noc
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Config parameterizes a Hermes network instance. The zero value is not
+// valid; use Defaults or fill every field. MultiNoC's values (§2.1) are
+// the defaults: 8-bit flits, 2-flit buffers, XY routing, 14-cycle
+// per-hop routing time (2 x Ri with Ri = 7) and a 50 MHz router clock.
+type Config struct {
+	// Width and Height give the mesh dimensions in routers.
+	Width, Height int
+	// FlitBits is the flit width (8 in MultiNoC; 16 and 32 supported
+	// for the flit-width ablation).
+	FlitBits int
+	// BufDepth is the input-buffer depth in flits (2 in MultiNoC).
+	BufDepth int
+	// RouteCycles is the effective per-hop header latency contribution
+	// in clock cycles; the paper's formula uses 2 x Ri with Ri >= 7, so
+	// the MultiNoC value is 14.
+	RouteCycles int
+	// Routing selects the routing algorithm (RouteXY in the paper).
+	Routing RoutingFunc
+	// ClockMHz converts cycle counts into wall-clock figures for
+	// throughput reporting (50 MHz: the Hermes router's rated clock).
+	ClockMHz float64
+}
+
+// Defaults returns the MultiNoC configuration for a width x height mesh.
+func Defaults(width, height int) Config {
+	return Config{
+		Width:       width,
+		Height:      height,
+		FlitBits:    8,
+		BufDepth:    2,
+		RouteCycles: 14,
+		Routing:     RouteXY,
+		ClockMHz:    50,
+	}
+}
+
+// internalRouteDelay converts the effective per-hop figure into the
+// control logic's countdown: the request-detect cycle and the 2-cycle
+// header link transfer account for 3 of the per-hop cycles.
+func (c Config) internalRouteDelay() int {
+	d := c.RouteCycles - 3
+	if d < 1 {
+		d = 1
+	}
+	return d
+}
+
+func (c Config) validate() error {
+	switch {
+	case c.Width < 1 || c.Height < 1:
+		return fmt.Errorf("noc: invalid mesh %dx%d", c.Width, c.Height)
+	case c.Width > 16 || c.Height > 16:
+		return fmt.Errorf("noc: mesh %dx%d exceeds the 16x16 addressing limit", c.Width, c.Height)
+	case c.FlitBits != 8 && c.FlitBits != 16 && c.FlitBits != 32:
+		return fmt.Errorf("noc: unsupported flit width %d", c.FlitBits)
+	case c.BufDepth < 1:
+		return fmt.Errorf("noc: buffer depth %d < 1", c.BufDepth)
+	case c.RouteCycles < 4:
+		return fmt.Errorf("noc: RouteCycles %d below pipeline minimum 4", c.RouteCycles)
+	case c.Routing == nil:
+		return fmt.Errorf("noc: nil routing function")
+	default:
+		return nil
+	}
+}
+
+// Network is a complete Hermes mesh: routers, inter-router links and the
+// endpoints attached to Local ports. It lives in a caller-provided clock
+// domain so that IP-core models can share the clock.
+type Network struct {
+	cfg       Config
+	clk       *sim.Clock
+	routers   [][]*Router
+	endpoints map[Addr]*Endpoint
+
+	nextPktID uint64
+	completed []*PacketMeta
+	delivered uint64
+}
+
+// New builds the mesh and registers every router with clk.
+func New(clk *sim.Clock, cfg Config) (*Network, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	n := &Network{cfg: cfg, clk: clk, endpoints: make(map[Addr]*Endpoint)}
+	n.routers = make([][]*Router, cfg.Width)
+	for x := 0; x < cfg.Width; x++ {
+		n.routers[x] = make([]*Router, cfg.Height)
+		for y := 0; y < cfg.Height; y++ {
+			r := newRouter(Addr{X: x, Y: y}, cfg)
+			n.routers[x][y] = r
+			clk.Register(r)
+		}
+	}
+	// Wire neighbour links: one Link per direction per adjacent pair.
+	for x := 0; x < cfg.Width; x++ {
+		for y := 0; y < cfg.Height; y++ {
+			r := n.routers[x][y]
+			if x+1 < cfg.Width {
+				e := n.routers[x+1][y]
+				l1 := NewLink(clk, fmt.Sprintf("l%s-E", r.addr))
+				r.connectOut(East, l1)
+				e.connectIn(West, l1)
+				l2 := NewLink(clk, fmt.Sprintf("l%s-W", e.addr))
+				e.connectOut(West, l2)
+				r.connectIn(East, l2)
+			}
+			if y+1 < cfg.Height {
+				u := n.routers[x][y+1]
+				l1 := NewLink(clk, fmt.Sprintf("l%s-N", r.addr))
+				r.connectOut(North, l1)
+				u.connectIn(South, l1)
+				l2 := NewLink(clk, fmt.Sprintf("l%s-S", u.addr))
+				u.connectOut(South, l2)
+				r.connectIn(North, l2)
+			}
+		}
+	}
+	return n, nil
+}
+
+// Config returns the network configuration.
+func (n *Network) Config() Config { return n.cfg }
+
+// Clock returns the clock domain the network runs in.
+func (n *Network) Clock() *sim.Clock { return n.clk }
+
+// Router returns the router at a, or nil when out of range.
+func (n *Network) Router(a Addr) *Router {
+	if a.X < 0 || a.X >= n.cfg.Width || a.Y < 0 || a.Y >= n.cfg.Height {
+		return nil
+	}
+	return n.routers[a.X][a.Y]
+}
+
+// NewEndpoint creates, wires and registers the endpoint on the Local
+// port of router a. Each router supports exactly one endpoint.
+func (n *Network) NewEndpoint(a Addr) (*Endpoint, error) {
+	r := n.Router(a)
+	if r == nil {
+		return nil, fmt.Errorf("noc: no router at %s", a)
+	}
+	if _, dup := n.endpoints[a]; dup {
+		return nil, fmt.Errorf("noc: endpoint at %s already exists", a)
+	}
+	toRouter := NewLink(n.clk, fmt.Sprintf("l%s-Lin", a))
+	fromRouter := NewLink(n.clk, fmt.Sprintf("l%s-Lout", a))
+	r.connectIn(Local, toRouter)
+	r.connectOut(Local, fromRouter)
+	ep := &Endpoint{
+		net:  n,
+		addr: a,
+		snd:  sender{link: toRouter},
+		rcv:  receiver{link: fromRouter},
+	}
+	n.endpoints[a] = ep
+	n.clk.Register(ep)
+	return ep, nil
+}
+
+// Endpoint returns the endpoint at a, or nil if none was created.
+func (n *Network) Endpoint(a Addr) *Endpoint { return n.endpoints[a] }
+
+// Completed returns the metadata of every packet fully delivered so far.
+func (n *Network) Completed() []*PacketMeta { return n.completed }
+
+// Delivered reports how many packets have been fully delivered.
+func (n *Network) Delivered() uint64 { return n.delivered }
+
+// ResetStats clears the completed-packet log (router counters keep
+// accumulating; they are snapshots, not rates).
+func (n *Network) ResetStats() { n.completed = nil }
+
+func (n *Network) allocMeta(src, dst Addr, payload int) *PacketMeta {
+	n.nextPktID++
+	return &PacketMeta{
+		ID:           n.nextPktID,
+		Src:          src,
+		Dst:          dst,
+		Len:          payload + 2,
+		CreatedCycle: n.clk.Cycle(),
+		Hops:         HopCount(src, dst),
+	}
+}
+
+func (n *Network) packetDelivered(m *PacketMeta) {
+	m.EjectCycle = n.clk.Cycle()
+	n.completed = append(n.completed, m)
+	n.delivered++
+}

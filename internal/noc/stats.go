@@ -1,0 +1,64 @@
+package noc
+
+import "sort"
+
+// LatencyStats summarizes packet latencies over a set of delivered
+// packets.
+type LatencyStats struct {
+	Packets int
+	// MinCycles/MeanCycles/P95Cycles/MaxCycles describe network latency
+	// (injection of the header to delivery of the tail).
+	MinCycles  uint64
+	MeanCycles float64
+	P95Cycles  uint64
+	MaxCycles  uint64
+	// MeanTotalCycles includes source queueing time.
+	MeanTotalCycles float64
+}
+
+// Latencies computes latency statistics over metas, ignoring packets
+// not yet delivered.
+func Latencies(metas []*PacketMeta) LatencyStats {
+	var s LatencyStats
+	var lats []uint64
+	var sum, sumTotal uint64
+	for _, m := range metas {
+		if m.EjectCycle == 0 {
+			continue
+		}
+		l := m.NetworkLatency()
+		lats = append(lats, l)
+		sum += l
+		sumTotal += m.TotalLatency()
+	}
+	s.Packets = len(lats)
+	if s.Packets == 0 {
+		return s
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	s.MinCycles = lats[0]
+	s.MaxCycles = lats[len(lats)-1]
+	s.P95Cycles = lats[(len(lats)*95)/100]
+	s.MeanCycles = float64(sum) / float64(s.Packets)
+	s.MeanTotalCycles = float64(sumTotal) / float64(s.Packets)
+	return s
+}
+
+// FormulaLatency evaluates the paper's minimal-latency model
+// latency = (sum Ri + P) x 2 for n routers with Ri = RouteCycles/2 and a
+// packet of p flits (header and size included).
+func FormulaLatency(cfg Config, hops, packetFlits int) uint64 {
+	return uint64(cfg.RouteCycles*hops + 2*packetFlits)
+}
+
+// LinkBandwidthMbps is the theoretical peak of one link in Mbit/s:
+// FlitBits per 2 cycles at ClockMHz.
+func LinkBandwidthMbps(cfg Config) float64 {
+	return float64(cfg.FlitBits) / 2 * cfg.ClockMHz
+}
+
+// RouterPeakGbps is the paper's headline router figure: five ports
+// streaming simultaneously (1 Gbit/s for 8-bit flits at 50 MHz).
+func RouterPeakGbps(cfg Config) float64 {
+	return 5 * LinkBandwidthMbps(cfg) / 1000
+}

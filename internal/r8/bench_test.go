@@ -1,0 +1,38 @@
+package r8
+
+import "testing"
+
+// BenchmarkStep measures simulated cycles per second of the
+// cycle-accurate core on an ALU-heavy loop.
+func BenchmarkStep(b *testing.B) {
+	bus := &ram{}
+	add, _ := Inst{Op: ADD, Rt: 1, Rs1: 2, Rs2: 3}.Encode()
+	jmp, _ := Inst{Op: JMP, Disp: -128}.Encode()
+	for i := 0; i < 127; i++ {
+		bus.m[i] = add
+	}
+	bus.m[127] = jmp
+	c := New()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Step(bus)
+	}
+}
+
+// BenchmarkDecode measures the instruction decoder.
+func BenchmarkDecode(b *testing.B) {
+	words := make([]uint16, 0, NumOps)
+	for op := Op(0); op < numOps; op++ {
+		w, err := (Inst{Op: op, Rt: 1, Rs1: 2, Rs2: 3, Imm: 5, Disp: 1}).Encode()
+		if err != nil {
+			b.Fatal(err)
+		}
+		words = append(words, w)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Decode(words[i%len(words)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

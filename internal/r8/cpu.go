@@ -1,0 +1,324 @@
+package r8
+
+import "fmt"
+
+// Bus is the CPU's view of the memory system (the ce/rw/addr/din/dout
+// interface of Figure 5). A transaction that cannot complete this cycle
+// returns ready == false and the CPU retries on the next cycle; this is
+// how the Processor IP control logic implements the waitR8 stall during
+// remote (NoC) accesses and local-memory arbitration.
+type Bus interface {
+	// Read returns the word at addr if the access can complete this
+	// cycle.
+	Read(addr uint16) (v uint16, ready bool)
+	// Write stores v at addr, reporting whether the access completed.
+	Write(addr, v uint16) (ready bool)
+}
+
+// CPU execution states.
+const (
+	stFetch = iota
+	stExec
+	stMem
+	stWB
+)
+
+// CPU is the cycle-accurate R8 core. Call Step once per clock cycle.
+// The zero value is a CPU reset to PC=0 with an undefined register file;
+// use New for a fully initialized core.
+type CPU struct {
+	Regs [16]uint16
+	PC   uint16
+	SP   uint16
+	IR   uint16
+	// Flags.
+	N, Z, C, V bool
+
+	state  int
+	inst   Inst
+	halted bool
+	err    error
+
+	// memAddr/memData hold the pending stMem transaction.
+	memAddr uint16
+	memData uint16
+
+	// Counters for CPI accounting (experiment E11).
+	Cycles  uint64
+	Retired uint64
+}
+
+// New returns a reset CPU. The paper's flow starts execution at address
+// 0 of the local memory after an "activate processor" packet; SP is
+// initialized to the top of the 1K local memory.
+func New() *CPU { return &CPU{SP: 0x03FF} }
+
+// Reset returns the CPU to its post-reset state, preserving nothing.
+func (c *CPU) Reset() { *c = *New() }
+
+// Halted reports whether the core executed HALT or hit an illegal
+// instruction.
+func (c *CPU) Halted() bool { return c.halted }
+
+// Err returns the illegal-instruction error, if any.
+func (c *CPU) Err() error { return c.err }
+
+// CPI returns cycles per retired instruction so far.
+func (c *CPU) CPI() float64 {
+	if c.Retired == 0 {
+		return 0
+	}
+	return float64(c.Cycles) / float64(c.Retired)
+}
+
+// Step advances the core by one clock cycle against bus. It does
+// nothing once halted.
+func (c *CPU) Step(bus Bus) {
+	if c.halted {
+		return
+	}
+	c.Cycles++
+	switch c.state {
+	case stFetch:
+		w, ready := bus.Read(c.PC)
+		if !ready {
+			return
+		}
+		c.IR = w
+		c.PC++
+		c.state = stExec
+	case stExec:
+		c.exec(bus)
+	case stMem:
+		c.mem(bus)
+	case stWB:
+		// One bookkeeping cycle for call/return control transfer,
+		// placing JSR/JSRR/RTS at CPI 4.
+		c.retire()
+	}
+}
+
+func (c *CPU) illegal(err error) {
+	c.err = err
+	c.halted = true
+}
+
+func (c *CPU) retire() {
+	c.Retired++
+	c.state = stFetch
+}
+
+func (c *CPU) exec(bus Bus) {
+	inst, err := Decode(c.IR)
+	if err != nil {
+		c.illegal(err)
+		return
+	}
+	c.inst = inst
+	r := &c.Regs
+	switch inst.Op {
+	case ADD:
+		c.Regs[inst.Rt] = c.alu(r[inst.Rs1], r[inst.Rs2], false)
+		c.retire()
+	case SUB:
+		c.Regs[inst.Rt] = c.alu(r[inst.Rs1], r[inst.Rs2], true)
+		c.retire()
+	case AND, OR, XOR:
+		var v uint16
+		switch inst.Op {
+		case AND:
+			v = r[inst.Rs1] & r[inst.Rs2]
+		case OR:
+			v = r[inst.Rs1] | r[inst.Rs2]
+		default:
+			v = r[inst.Rs1] ^ r[inst.Rs2]
+		}
+		c.Regs[inst.Rt] = v
+		c.setNZ(v)
+		c.C, c.V = false, false
+		c.retire()
+	case ADDI:
+		c.Regs[inst.Rt] = c.alu(r[inst.Rt], uint16(inst.Imm), false)
+		c.retire()
+	case SUBI:
+		c.Regs[inst.Rt] = c.alu(r[inst.Rt], uint16(inst.Imm), true)
+		c.retire()
+	case LDL:
+		c.Regs[inst.Rt] = r[inst.Rt]&0xFF00 | uint16(inst.Imm)
+		c.retire()
+	case LDH:
+		c.Regs[inst.Rt] = uint16(inst.Imm)<<8 | r[inst.Rt]&0x00FF
+		c.retire()
+	case LD, ST:
+		c.memAddr = r[inst.Rs1] + r[inst.Rs2]
+		c.memData = r[inst.Rt]
+		c.state = stMem
+	case JMP, JMPN, JMPZ, JMPC, JMPV, JMPNN, JMPNZ, JMPNC, JMPNV:
+		if c.cond(inst.Op) {
+			c.PC += uint16(int16(inst.Disp))
+		}
+		c.retire()
+	case JSR:
+		c.memAddr = c.SP
+		c.memData = c.PC
+		c.SP--
+		c.PC += uint16(int16(inst.Disp))
+		c.state = stMem
+	case JSRR:
+		c.memAddr = c.SP
+		c.memData = c.PC
+		c.SP--
+		c.PC = r[inst.Rs1]
+		c.state = stMem
+	case SL0, SL1, SR0, SR1:
+		c.Regs[inst.Rt] = c.shift(inst.Op, r[inst.Rs1])
+		c.retire()
+	case NOT:
+		v := ^r[inst.Rs1]
+		c.Regs[inst.Rt] = v
+		c.setNZ(v)
+		c.retire()
+	case MOV:
+		v := r[inst.Rs1]
+		c.Regs[inst.Rt] = v
+		c.setNZ(v)
+		c.retire()
+	case PUSH:
+		c.memAddr = c.SP
+		c.memData = r[inst.Rs1]
+		c.SP--
+		c.state = stMem
+	case POP:
+		c.SP++
+		c.memAddr = c.SP
+		c.state = stMem
+	case RTS:
+		c.SP++
+		c.memAddr = c.SP
+		c.state = stMem
+	case LDSP:
+		c.SP = r[inst.Rs1]
+		c.retire()
+	case RDSP:
+		c.Regs[inst.Rt] = c.SP
+		c.retire()
+	case JMPR:
+		c.PC = r[inst.Rs1]
+		c.retire()
+	case NOP:
+		c.retire()
+	case HALT:
+		c.halted = true
+		c.Retired++
+	default:
+		c.illegal(fmt.Errorf("r8: unimplemented op %s", inst.Op))
+	}
+}
+
+func (c *CPU) mem(bus Bus) {
+	switch c.inst.Op {
+	case LD:
+		v, ready := bus.Read(c.memAddr)
+		if !ready {
+			return
+		}
+		c.Regs[c.inst.Rt] = v
+		c.retire()
+	case ST, PUSH:
+		if !bus.Write(c.memAddr, c.memData) {
+			return
+		}
+		c.retire()
+	case JSR, JSRR:
+		if !bus.Write(c.memAddr, c.memData) {
+			return
+		}
+		c.state = stWB
+	case POP:
+		v, ready := bus.Read(c.memAddr)
+		if !ready {
+			return
+		}
+		c.Regs[c.inst.Rt] = v
+		c.retire()
+	case RTS:
+		v, ready := bus.Read(c.memAddr)
+		if !ready {
+			return
+		}
+		c.PC = v
+		c.state = stWB
+	default:
+		c.illegal(fmt.Errorf("r8: op %s in memory state", c.inst.Op))
+	}
+}
+
+// alu performs add/sub with full NZCV semantics (C is carry-out for
+// add, NOT-borrow for sub, ARM style).
+func (c *CPU) alu(a, b uint16, isSub bool) uint16 {
+	if isSub {
+		b = ^b
+		sum := uint32(a) + uint32(b) + 1
+		v := uint16(sum)
+		c.C = sum > 0xFFFF
+		c.V = (a^uint16(sum))&(b^uint16(sum))&0x8000 != 0
+		c.setNZ(v)
+		return v
+	}
+	sum := uint32(a) + uint32(b)
+	v := uint16(sum)
+	c.C = sum > 0xFFFF
+	c.V = (a^v)&(b^v)&0x8000 != 0
+	c.setNZ(v)
+	return v
+}
+
+func (c *CPU) shift(op Op, v uint16) uint16 {
+	var out uint16
+	switch op {
+	case SL0:
+		c.C = v&0x8000 != 0
+		out = v << 1
+	case SL1:
+		c.C = v&0x8000 != 0
+		out = v<<1 | 1
+	case SR0:
+		c.C = v&1 != 0
+		out = v >> 1
+	case SR1:
+		c.C = v&1 != 0
+		out = v>>1 | 0x8000
+	}
+	c.V = false
+	c.setNZ(out)
+	return out
+}
+
+func (c *CPU) setNZ(v uint16) {
+	c.N = v&0x8000 != 0
+	c.Z = v == 0
+}
+
+func (c *CPU) cond(op Op) bool {
+	switch op {
+	case JMP:
+		return true
+	case JMPN:
+		return c.N
+	case JMPZ:
+		return c.Z
+	case JMPC:
+		return c.C
+	case JMPV:
+		return c.V
+	case JMPNN:
+		return !c.N
+	case JMPNZ:
+		return !c.Z
+	case JMPNC:
+		return !c.C
+	case JMPNV:
+		return !c.V
+	}
+	return false
+}

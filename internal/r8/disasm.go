@@ -1,0 +1,37 @@
+package r8
+
+import "fmt"
+
+// Disasm renders the instruction in assembler syntax.
+func (i Inst) Disasm() string {
+	switch i.Op.Fmt() {
+	case FmtR:
+		return fmt.Sprintf("%s R%d, R%d, R%d", i.Op, i.Rt, i.Rs1, i.Rs2)
+	case FmtI:
+		return fmt.Sprintf("%s R%d, %d", i.Op, i.Rt, i.Imm)
+	case FmtJ:
+		return fmt.Sprintf("%s %+d", i.Op, i.Disp)
+	case FmtU:
+		return fmt.Sprintf("%s R%d, R%d", i.Op, i.Rt, i.Rs1)
+	case FmtS:
+		switch i.Op {
+		case PUSH, LDSP, JMPR, JSRR:
+			return fmt.Sprintf("%s R%d", i.Op, i.Rs1)
+		case POP, RDSP:
+			return fmt.Sprintf("%s R%d", i.Op, i.Rt)
+		default:
+			return i.Op.String()
+		}
+	}
+	return fmt.Sprintf("?%04x", 0)
+}
+
+// DisasmWord decodes and renders a machine word, or a .word directive
+// for data / illegal encodings.
+func DisasmWord(w uint16) string {
+	inst, err := Decode(w)
+	if err != nil {
+		return fmt.Sprintf(".word 0x%04X", w)
+	}
+	return inst.Disasm()
+}

@@ -1,0 +1,68 @@
+package r8asm
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/r8"
+)
+
+// WriteObject emits the program in the textual object format the host's
+// serial software consumes (the "generated object code" text file of
+// §4): '@hhhh' address records followed by one 4-digit hex word per
+// line, with disassembly comments for readability.
+func WriteObject(w io.Writer, p *Program) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, "# r8 object v1")
+	for _, seg := range p.Segments {
+		fmt.Fprintf(bw, "@%04X\n", seg.Base)
+		for i, word := range seg.Words {
+			fmt.Fprintf(bw, "%04X  ; %04X: %s\n", word, int(seg.Base)+i, r8.DisasmWord(word))
+		}
+	}
+	return bw.Flush()
+}
+
+// ParseObject reads the textual object format back into a Program.
+func ParseObject(r io.Reader) (*Program, error) {
+	sc := bufio.NewScanner(r)
+	p := &Program{Symbols: map[string]uint16{}}
+	var cur *Segment
+	line := 0
+	for sc.Scan() {
+		line++
+		text := sc.Text()
+		if i := strings.IndexAny(text, "#;"); i >= 0 {
+			text = text[:i]
+		}
+		text = strings.TrimSpace(text)
+		if text == "" {
+			continue
+		}
+		if strings.HasPrefix(text, "@") {
+			base, err := strconv.ParseUint(text[1:], 16, 16)
+			if err != nil {
+				return nil, fmt.Errorf("r8asm: object line %d: bad address %q", line, text)
+			}
+			p.Segments = append(p.Segments, Segment{Base: uint16(base)})
+			cur = &p.Segments[len(p.Segments)-1]
+			continue
+		}
+		v, err := strconv.ParseUint(text, 16, 16)
+		if err != nil {
+			return nil, fmt.Errorf("r8asm: object line %d: bad word %q", line, text)
+		}
+		if cur == nil {
+			p.Segments = append(p.Segments, Segment{Base: 0})
+			cur = &p.Segments[len(p.Segments)-1]
+		}
+		cur.Words = append(cur.Words, uint16(v))
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("r8asm: reading object: %w", err)
+	}
+	return p, nil
+}

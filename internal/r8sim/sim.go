@@ -1,0 +1,243 @@
+// Package r8sim is the instruction-level R8 simulator — the counterpart
+// of the paper's "R8 Simulator environment" [3], used to write and debug
+// assembly before downloading it to MultiNoC. Like the original, it
+// simulates a single processor only (the full-system simulator lives in
+// internal/core); unlike the cycle-accurate core in internal/r8 it
+// executes one whole instruction per step, making it fast and — being an
+// independent implementation of the ISA semantics — a differential
+// oracle for the hardware model.
+package r8sim
+
+import (
+	"fmt"
+
+	"repro/internal/r8"
+	"repro/internal/r8asm"
+)
+
+// IOAddr is the memory-mapped I/O address: ST performs printf, LD
+// performs scanf (§2.4).
+const IOAddr = 0xFFFF
+
+// Machine is a functional R8 with a flat memory.
+type Machine struct {
+	Mem  []uint16
+	Regs [16]uint16
+	PC   uint16
+	SP   uint16
+	N    bool
+	Z    bool
+	C    bool
+	V    bool
+
+	// Printf is invoked for each word stored to IOAddr; Scanf supplies
+	// the word loaded from IOAddr. Nil hooks turn the accesses into
+	// plain memory traffic to the top memory word.
+	Printf func(v uint16)
+	Scanf  func() uint16
+	// Trace, when non-nil, receives every executed instruction.
+	Trace func(pc uint16, inst r8.Inst)
+
+	Breakpoints map[uint16]bool
+
+	halted  bool
+	err     error
+	Retired uint64
+}
+
+// New returns a machine with memWords words of memory (use 65536 for
+// the full address space, 1024 for a MultiNoC local memory image).
+func New(memWords int) *Machine {
+	return &Machine{
+		Mem:         make([]uint16, memWords),
+		SP:          0x03FF,
+		Breakpoints: make(map[uint16]bool),
+	}
+}
+
+// Load copies an assembled program into memory.
+func (m *Machine) Load(p *r8asm.Program) error {
+	img, err := p.Flatten(len(m.Mem))
+	if err != nil {
+		return err
+	}
+	copy(m.Mem, img)
+	return nil
+}
+
+// Halted reports whether the machine executed HALT or trapped.
+func (m *Machine) Halted() bool { return m.halted }
+
+// Err returns the trap reason, nil after a clean HALT.
+func (m *Machine) Err() error { return m.err }
+
+func (m *Machine) read(addr uint16) uint16 {
+	if addr == IOAddr && m.Scanf != nil {
+		return m.Scanf()
+	}
+	return m.Mem[int(addr)%len(m.Mem)]
+}
+
+func (m *Machine) write(addr, v uint16) {
+	if addr == IOAddr && m.Printf != nil {
+		m.Printf(v)
+		return
+	}
+	m.Mem[int(addr)%len(m.Mem)] = v
+}
+
+func (m *Machine) setNZ(v uint16) {
+	m.N = v&0x8000 != 0
+	m.Z = v == 0
+}
+
+func (m *Machine) add(a, b uint16, carryIn uint16) uint16 {
+	sum := uint32(a) + uint32(b) + uint32(carryIn)
+	v := uint16(sum)
+	m.C = sum > 0xFFFF
+	m.V = (a^v)&(b^v)&0x8000 != 0
+	m.setNZ(v)
+	return v
+}
+
+// StepInst executes exactly one instruction. It is a no-op when halted.
+func (m *Machine) StepInst() {
+	if m.halted {
+		return
+	}
+	w := m.Mem[int(m.PC)%len(m.Mem)]
+	inst, err := r8.Decode(w)
+	if err != nil {
+		m.halted, m.err = true, err
+		return
+	}
+	if m.Trace != nil {
+		m.Trace(m.PC, inst)
+	}
+	m.PC++
+	r := &m.Regs
+	switch inst.Op {
+	case r8.ADD:
+		r[inst.Rt] = m.add(r[inst.Rs1], r[inst.Rs2], 0)
+	case r8.SUB:
+		r[inst.Rt] = m.add(r[inst.Rs1], ^r[inst.Rs2], 1)
+	case r8.AND:
+		r[inst.Rt] = r[inst.Rs1] & r[inst.Rs2]
+		m.setNZ(r[inst.Rt])
+		m.C, m.V = false, false
+	case r8.OR:
+		r[inst.Rt] = r[inst.Rs1] | r[inst.Rs2]
+		m.setNZ(r[inst.Rt])
+		m.C, m.V = false, false
+	case r8.XOR:
+		r[inst.Rt] = r[inst.Rs1] ^ r[inst.Rs2]
+		m.setNZ(r[inst.Rt])
+		m.C, m.V = false, false
+	case r8.ADDI:
+		r[inst.Rt] = m.add(r[inst.Rt], uint16(inst.Imm), 0)
+	case r8.SUBI:
+		r[inst.Rt] = m.add(r[inst.Rt], ^uint16(inst.Imm), 1)
+	case r8.LDL:
+		r[inst.Rt] = r[inst.Rt]&0xFF00 | uint16(inst.Imm)
+	case r8.LDH:
+		r[inst.Rt] = uint16(inst.Imm)<<8 | r[inst.Rt]&0x00FF
+	case r8.LD:
+		r[inst.Rt] = m.read(r[inst.Rs1] + r[inst.Rs2])
+	case r8.ST:
+		m.write(r[inst.Rs1]+r[inst.Rs2], r[inst.Rt])
+	case r8.JMP, r8.JMPN, r8.JMPZ, r8.JMPC, r8.JMPV,
+		r8.JMPNN, r8.JMPNZ, r8.JMPNC, r8.JMPNV:
+		if m.cond(inst.Op) {
+			m.PC += uint16(int16(inst.Disp))
+		}
+	case r8.JSR:
+		m.write(m.SP, m.PC)
+		m.SP--
+		m.PC += uint16(int16(inst.Disp))
+	case r8.JSRR:
+		m.write(m.SP, m.PC)
+		m.SP--
+		m.PC = r[inst.Rs1]
+	case r8.SL0:
+		m.C = r[inst.Rs1]&0x8000 != 0
+		r[inst.Rt] = r[inst.Rs1] << 1
+		m.V = false
+		m.setNZ(r[inst.Rt])
+	case r8.SL1:
+		m.C = r[inst.Rs1]&0x8000 != 0
+		r[inst.Rt] = r[inst.Rs1]<<1 | 1
+		m.V = false
+		m.setNZ(r[inst.Rt])
+	case r8.SR0:
+		m.C = r[inst.Rs1]&1 != 0
+		r[inst.Rt] = r[inst.Rs1] >> 1
+		m.V = false
+		m.setNZ(r[inst.Rt])
+	case r8.SR1:
+		m.C = r[inst.Rs1]&1 != 0
+		r[inst.Rt] = r[inst.Rs1]>>1 | 0x8000
+		m.V = false
+		m.setNZ(r[inst.Rt])
+	case r8.NOT:
+		r[inst.Rt] = ^r[inst.Rs1]
+		m.setNZ(r[inst.Rt])
+	case r8.MOV:
+		r[inst.Rt] = r[inst.Rs1]
+		m.setNZ(r[inst.Rt])
+	case r8.PUSH:
+		m.write(m.SP, r[inst.Rs1])
+		m.SP--
+	case r8.POP:
+		m.SP++
+		r[inst.Rt] = m.read(m.SP)
+	case r8.LDSP:
+		m.SP = r[inst.Rs1]
+	case r8.RDSP:
+		r[inst.Rt] = m.SP
+	case r8.RTS:
+		m.SP++
+		m.PC = m.read(m.SP)
+	case r8.JMPR:
+		m.PC = r[inst.Rs1]
+	case r8.NOP:
+	case r8.HALT:
+		m.halted = true
+	}
+	m.Retired++
+}
+
+func (m *Machine) cond(op r8.Op) bool {
+	switch op {
+	case r8.JMP:
+		return true
+	case r8.JMPN:
+		return m.N
+	case r8.JMPZ:
+		return m.Z
+	case r8.JMPC:
+		return m.C
+	case r8.JMPV:
+		return m.V
+	case r8.JMPNN:
+		return !m.N
+	case r8.JMPNZ:
+		return !m.Z
+	case r8.JMPNC:
+		return !m.C
+	case r8.JMPNV:
+		return !m.V
+	}
+	return false
+}
+
+// Run executes instructions until HALT, a breakpoint, or the budget is
+// spent. It reports whether the machine halted.
+func (m *Machine) Run(maxInst int) (halted bool, err error) {
+	for i := 0; i < maxInst && !m.halted; i++ {
+		m.StepInst()
+		if m.Breakpoints[m.PC] {
+			return false, fmt.Errorf("r8sim: breakpoint at %#04x", m.PC)
+		}
+	}
+	return m.halted, m.err
+}

@@ -1,0 +1,151 @@
+package rcc
+
+// Program is a parsed R8C translation unit.
+type Program struct {
+	Globals []*VarDecl
+	Funcs   []*FuncDecl
+}
+
+// VarDecl is a global variable or array. At, when non-nil, pins the
+// symbol to a fixed address instead of allocating storage — the hook
+// for the Figure 6 remote windows (e.g. `int remote[1024] @ 0x0800;`).
+type VarDecl struct {
+	Name string
+	// Size is 1 for scalars, the element count for arrays.
+	Size    int
+	IsArray bool
+	At      *int
+	Line    int
+}
+
+// FuncDecl is a function definition.
+type FuncDecl struct {
+	Name   string
+	Params []string
+	Body   *Block
+	Line   int
+}
+
+// Stmt is a statement node.
+type Stmt interface{ stmt() }
+
+// Block is `{ ... }`.
+type Block struct {
+	Stmts []Stmt
+}
+
+// LocalDecl is `int x;` or `int x = expr;`.
+type LocalDecl struct {
+	Name string
+	Init Expr
+	Line int
+}
+
+// Assign is `lhs = expr;` where lhs is a variable or element.
+type Assign struct {
+	Name  string
+	Index Expr // nil for scalars
+	Value Expr
+	Line  int
+}
+
+// If is `if (cond) then else else`.
+type If struct {
+	Cond Expr
+	Then *Block
+	Else *Block
+}
+
+// While is `while (cond) body`.
+type While struct {
+	Cond Expr
+	Body *Block
+}
+
+// For is `for (init; cond; post) body`; any clause may be empty. Init
+// and Post are statements (a declaration, assignment or expression);
+// a nil Cond means "always true".
+type For struct {
+	Init Stmt
+	Cond Expr
+	Post Stmt
+	Body *Block
+}
+
+// Return is `return expr;` (expr may be nil).
+type Return struct {
+	Value Expr
+	Line  int
+}
+
+// Break and Continue control the innermost loop.
+type Break struct{ Line int }
+
+// Continue re-tests the innermost loop condition.
+type Continue struct{ Line int }
+
+// ExprStmt is an expression evaluated for effect.
+type ExprStmt struct {
+	X Expr
+}
+
+func (*Block) stmt()     {}
+func (*LocalDecl) stmt() {}
+func (*Assign) stmt()    {}
+func (*If) stmt()        {}
+func (*While) stmt()     {}
+func (*For) stmt()       {}
+func (*Return) stmt()    {}
+func (*Break) stmt()     {}
+func (*Continue) stmt()  {}
+func (*ExprStmt) stmt()  {}
+
+// Expr is an expression node.
+type Expr interface{ expr() }
+
+// Num is an integer literal.
+type Num struct {
+	Val  int
+	Line int
+}
+
+// Ident references a variable (or bare array name in address context).
+type Ident struct {
+	Name string
+	Line int
+}
+
+// Index is `arr[i]`.
+type Index struct {
+	Name string
+	I    Expr
+	Line int
+}
+
+// Call is `f(args...)`, including the intrinsics.
+type Call struct {
+	Name string
+	Args []Expr
+	Line int
+}
+
+// Binary is a two-operand operation.
+type Binary struct {
+	Op   string
+	L, R Expr
+	Line int
+}
+
+// Unary is `-x`, `~x` or `!x`.
+type Unary struct {
+	Op   string
+	X    Expr
+	Line int
+}
+
+func (*Num) expr()    {}
+func (*Ident) expr()  {}
+func (*Index) expr()  {}
+func (*Call) expr()   {}
+func (*Binary) expr() {}
+func (*Unary) expr()  {}

@@ -1,0 +1,55 @@
+package rcc
+
+import (
+	"testing"
+
+	"repro/internal/r8asm"
+	"repro/internal/r8sim"
+)
+
+const benchSource = `
+int fib(int n) {
+	if (n < 2) return n;
+	return fib(n-1) + fib(n-2);
+}
+int main() { return fib(12); }
+`
+
+// BenchmarkCompile measures the full R8C pipeline (lex, parse, codegen).
+func BenchmarkCompile(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := Compile(benchSource); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCompiledExecution measures the functional simulator running
+// compiled code (recursive fib(12)).
+func BenchmarkCompiledExecution(b *testing.B) {
+	asm, err := CompileOpts(benchSource, Options{StackTop: 0xFEFF})
+	if err != nil {
+		b.Fatal(err)
+	}
+	prog, err := r8asm.Assemble(asm)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var retired uint64
+	for i := 0; i < b.N; i++ {
+		m := r8sim.New(65536)
+		if err := m.Load(prog); err != nil {
+			b.Fatal(err)
+		}
+		halted, err := m.Run(50_000_000)
+		if err != nil || !halted {
+			b.Fatalf("halted=%v err=%v", halted, err)
+		}
+		if int16(m.Regs[3]) != 144 {
+			b.Fatalf("fib(12) = %d", int16(m.Regs[3]))
+		}
+		retired = m.Retired
+	}
+	b.ReportMetric(float64(retired), "instructions")
+}

@@ -1,0 +1,163 @@
+// Package rcc is a compiler for R8C — a small C-like language — to R8
+// assembly. It implements the paper's stated future work: "Another
+// important tool is a C compiler to automatically generate R8 assembly
+// code, allowing faster software implementation" (§5).
+//
+// The language: 16-bit signed ints, global scalars and arrays
+// (optionally placed at fixed addresses with '@' for the Figure 6
+// windows), functions with parameters and recursion, if/else, while, for,
+// break/continue, the usual C operators, and intrinsics mapping to the
+// MultiNoC memory-mapped devices: putc/getw (printf/scanf at 0xFFFF),
+// wait/notify (0xFFFE/0xFFFD) and halt().
+package rcc
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokNumber
+	tokPunct
+	tokKeyword
+)
+
+type token struct {
+	kind tokKind
+	text string
+	val  int
+	line int
+}
+
+var keywords = map[string]bool{
+	"int": true, "void": true, "if": true, "else": true,
+	"while": true, "for": true, "return": true, "break": true, "continue": true,
+}
+
+// multi-char operators, longest first.
+var punct2 = []string{"<<", ">>", "<=", ">=", "==", "!=", "&&", "||"}
+
+// CompileError is a diagnostic tied to a source line.
+type CompileError struct {
+	Line int
+	Msg  string
+}
+
+func (e *CompileError) Error() string { return fmt.Sprintf("rcc: line %d: %s", e.Line, e.Msg) }
+
+func errf(line int, format string, args ...any) error {
+	return &CompileError{Line: line, Msg: fmt.Sprintf(format, args...)}
+}
+
+type lexer struct {
+	src  string
+	pos  int
+	line int
+}
+
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src, line: 1}
+	var toks []token
+	for {
+		t, err := l.next()
+		if err != nil {
+			return nil, err
+		}
+		toks = append(toks, t)
+		if t.kind == tokEOF {
+			return toks, nil
+		}
+	}
+}
+
+func (l *lexer) next() (token, error) {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == '\n':
+			l.line++
+			l.pos++
+		case c == ' ' || c == '\t' || c == '\r':
+			l.pos++
+		case c == '/' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '/':
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+		case c == '/' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '*':
+			l.pos += 2
+			for l.pos+1 < len(l.src) && !(l.src[l.pos] == '*' && l.src[l.pos+1] == '/') {
+				if l.src[l.pos] == '\n' {
+					l.line++
+				}
+				l.pos++
+			}
+			if l.pos+1 >= len(l.src) {
+				return token{}, errf(l.line, "unterminated block comment")
+			}
+			l.pos += 2
+		default:
+			goto scan
+		}
+	}
+	return token{kind: tokEOF, line: l.line}, nil
+
+scan:
+	c := l.src[l.pos]
+	start := l.pos
+	switch {
+	case isIdentStart(c):
+		for l.pos < len(l.src) && isIdentPart(l.src[l.pos]) {
+			l.pos++
+		}
+		text := l.src[start:l.pos]
+		if keywords[text] {
+			return token{kind: tokKeyword, text: text, line: l.line}, nil
+		}
+		return token{kind: tokIdent, text: text, line: l.line}, nil
+	case c >= '0' && c <= '9':
+		for l.pos < len(l.src) && isNumPart(l.src[l.pos]) {
+			l.pos++
+		}
+		text := l.src[start:l.pos]
+		v, err := strconv.ParseInt(strings.ToLower(text), 0, 32)
+		if err != nil || v > 0xFFFF {
+			return token{}, errf(l.line, "bad number %q", text)
+		}
+		return token{kind: tokNumber, text: text, val: int(v), line: l.line}, nil
+	case c == '\'':
+		end := strings.IndexByte(l.src[l.pos+1:], '\'')
+		if end < 0 {
+			return token{}, errf(l.line, "unterminated character literal")
+		}
+		lit := l.src[l.pos : l.pos+end+2]
+		l.pos += end + 2
+		body, err := strconv.Unquote(lit)
+		if err != nil || len(body) != 1 {
+			return token{}, errf(l.line, "bad character literal %s", lit)
+		}
+		return token{kind: tokNumber, text: lit, val: int(body[0]), line: l.line}, nil
+	default:
+		for _, p := range punct2 {
+			if strings.HasPrefix(l.src[l.pos:], p) {
+				l.pos += 2
+				return token{kind: tokPunct, text: p, line: l.line}, nil
+			}
+		}
+		if strings.ContainsRune("+-*/%&|^~!<>=(){}[];,@", rune(c)) {
+			l.pos++
+			return token{kind: tokPunct, text: string(c), line: l.line}, nil
+		}
+		return token{}, errf(l.line, "unexpected character %q", c)
+	}
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z'
+}
+func isIdentPart(c byte) bool { return isIdentStart(c) || c >= '0' && c <= '9' }
+func isNumPart(c byte) bool   { return isIdentPart(c) } // 0x1F etc.

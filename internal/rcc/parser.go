@@ -1,0 +1,497 @@
+package rcc
+
+import "fmt"
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+// Parse builds the AST of an R8C source file.
+func Parse(src string) (*Program, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	prog := &Program{}
+	for !p.at(tokEOF, "") {
+		if err := p.topLevel(prog); err != nil {
+			return nil, err
+		}
+	}
+	return prog, nil
+}
+
+func (p *parser) cur() token { return p.toks[p.pos] }
+func (p *parser) advance()   { p.pos++ }
+func (p *parser) line() int  { return p.cur().line }
+
+func (p *parser) at(kind tokKind, text string) bool {
+	t := p.cur()
+	return t.kind == kind && (text == "" || t.text == text)
+}
+
+func (p *parser) accept(kind tokKind, text string) bool {
+	if p.at(kind, text) {
+		p.advance()
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(kind tokKind, text string) (token, error) {
+	t := p.cur()
+	if !p.at(kind, text) {
+		what := text
+		if what == "" {
+			what = fmt.Sprintf("token kind %d", kind)
+		}
+		return t, errf(t.line, "expected %q, found %q", what, t.text)
+	}
+	p.advance()
+	return t, nil
+}
+
+// topLevel parses `int name ...` as either a global or a function.
+func (p *parser) topLevel(prog *Program) error {
+	if !p.accept(tokKeyword, "int") && !p.accept(tokKeyword, "void") {
+		return errf(p.line(), "expected declaration, found %q", p.cur().text)
+	}
+	name, err := p.expect(tokIdent, "")
+	if err != nil {
+		return err
+	}
+	if p.at(tokPunct, "(") {
+		fn, err := p.funcRest(name)
+		if err != nil {
+			return err
+		}
+		prog.Funcs = append(prog.Funcs, fn)
+		return nil
+	}
+	g, err := p.globalRest(name)
+	if err != nil {
+		return err
+	}
+	prog.Globals = append(prog.Globals, g)
+	return nil
+}
+
+func (p *parser) globalRest(name token) (*VarDecl, error) {
+	d := &VarDecl{Name: name.text, Size: 1, Line: name.line}
+	if p.accept(tokPunct, "[") {
+		n, err := p.expect(tokNumber, "")
+		if err != nil {
+			return nil, err
+		}
+		if n.val < 1 {
+			return nil, errf(n.line, "array %q has size %d", d.Name, n.val)
+		}
+		d.Size = n.val
+		d.IsArray = true
+		if _, err := p.expect(tokPunct, "]"); err != nil {
+			return nil, err
+		}
+	}
+	if p.accept(tokPunct, "@") {
+		a, err := p.expect(tokNumber, "")
+		if err != nil {
+			return nil, err
+		}
+		at := a.val
+		d.At = &at
+	}
+	if _, err := p.expect(tokPunct, ";"); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+func (p *parser) funcRest(name token) (*FuncDecl, error) {
+	fn := &FuncDecl{Name: name.text, Line: name.line}
+	if _, err := p.expect(tokPunct, "("); err != nil {
+		return nil, err
+	}
+	if !p.accept(tokPunct, ")") {
+		for {
+			if !p.accept(tokKeyword, "int") {
+				return nil, errf(p.line(), "expected parameter type")
+			}
+			pn, err := p.expect(tokIdent, "")
+			if err != nil {
+				return nil, err
+			}
+			fn.Params = append(fn.Params, pn.text)
+			if p.accept(tokPunct, ")") {
+				break
+			}
+			if _, err := p.expect(tokPunct, ","); err != nil {
+				return nil, err
+			}
+		}
+	}
+	body, err := p.block()
+	if err != nil {
+		return nil, err
+	}
+	fn.Body = body
+	return fn, nil
+}
+
+func (p *parser) block() (*Block, error) {
+	if _, err := p.expect(tokPunct, "{"); err != nil {
+		return nil, err
+	}
+	b := &Block{}
+	for !p.accept(tokPunct, "}") {
+		if p.at(tokEOF, "") {
+			return nil, errf(p.line(), "unterminated block")
+		}
+		s, err := p.statement()
+		if err != nil {
+			return nil, err
+		}
+		b.Stmts = append(b.Stmts, s)
+	}
+	return b, nil
+}
+
+func (p *parser) statement() (Stmt, error) {
+	switch {
+	case p.at(tokPunct, "{"):
+		return p.block()
+	case p.accept(tokKeyword, "int"):
+		name, err := p.expect(tokIdent, "")
+		if err != nil {
+			return nil, err
+		}
+		d := &LocalDecl{Name: name.text, Line: name.line}
+		if p.accept(tokPunct, "=") {
+			e, err := p.expression()
+			if err != nil {
+				return nil, err
+			}
+			d.Init = e
+		}
+		if _, err := p.expect(tokPunct, ";"); err != nil {
+			return nil, err
+		}
+		return d, nil
+	case p.accept(tokKeyword, "if"):
+		if _, err := p.expect(tokPunct, "("); err != nil {
+			return nil, err
+		}
+		cond, err := p.expression()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokPunct, ")"); err != nil {
+			return nil, err
+		}
+		then, err := p.blockOrSingle()
+		if err != nil {
+			return nil, err
+		}
+		node := &If{Cond: cond, Then: then}
+		if p.accept(tokKeyword, "else") {
+			els, err := p.blockOrSingle()
+			if err != nil {
+				return nil, err
+			}
+			node.Else = els
+		}
+		return node, nil
+	case p.accept(tokKeyword, "while"):
+		if _, err := p.expect(tokPunct, "("); err != nil {
+			return nil, err
+		}
+		cond, err := p.expression()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokPunct, ")"); err != nil {
+			return nil, err
+		}
+		body, err := p.blockOrSingle()
+		if err != nil {
+			return nil, err
+		}
+		return &While{Cond: cond, Body: body}, nil
+	case p.accept(tokKeyword, "for"):
+		return p.forStmt()
+	case p.at(tokKeyword, "return"):
+		line := p.line()
+		p.advance()
+		r := &Return{Line: line}
+		if !p.at(tokPunct, ";") {
+			e, err := p.expression()
+			if err != nil {
+				return nil, err
+			}
+			r.Value = e
+		}
+		if _, err := p.expect(tokPunct, ";"); err != nil {
+			return nil, err
+		}
+		return r, nil
+	case p.at(tokKeyword, "break"):
+		line := p.line()
+		p.advance()
+		if _, err := p.expect(tokPunct, ";"); err != nil {
+			return nil, err
+		}
+		return &Break{Line: line}, nil
+	case p.at(tokKeyword, "continue"):
+		line := p.line()
+		p.advance()
+		if _, err := p.expect(tokPunct, ";"); err != nil {
+			return nil, err
+		}
+		return &Continue{Line: line}, nil
+	}
+	// Assignment or expression statement; disambiguate by lookahead.
+	if p.at(tokIdent, "") {
+		save := p.pos
+		name := p.cur()
+		p.advance()
+		var idx Expr
+		ok := true
+		if p.accept(tokPunct, "[") {
+			e, err := p.expression()
+			if err != nil {
+				return nil, err
+			}
+			idx = e
+			if _, err := p.expect(tokPunct, "]"); err != nil {
+				return nil, err
+			}
+		}
+		if ok && p.accept(tokPunct, "=") {
+			v, err := p.expression()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tokPunct, ";"); err != nil {
+				return nil, err
+			}
+			return &Assign{Name: name.text, Index: idx, Value: v, Line: name.line}, nil
+		}
+		p.pos = save
+	}
+	e, err := p.expression()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokPunct, ";"); err != nil {
+		return nil, err
+	}
+	return &ExprStmt{X: e}, nil
+}
+
+// forStmt parses `for (init; cond; post) body` after the keyword. Any
+// clause may be empty; the post clause is an assignment or expression
+// without a trailing semicolon.
+func (p *parser) forStmt() (Stmt, error) {
+	if _, err := p.expect(tokPunct, "("); err != nil {
+		return nil, err
+	}
+	f := &For{}
+	if !p.accept(tokPunct, ";") {
+		// The init clause is a full statement (declaration, assignment
+		// or expression) and consumes its own semicolon.
+		s, err := p.statement()
+		if err != nil {
+			return nil, err
+		}
+		switch s.(type) {
+		case *LocalDecl, *Assign, *ExprStmt:
+			f.Init = s
+		default:
+			return nil, errf(p.line(), "invalid for-loop initializer")
+		}
+	}
+	if !p.accept(tokPunct, ";") {
+		cond, err := p.expression()
+		if err != nil {
+			return nil, err
+		}
+		f.Cond = cond
+		if _, err := p.expect(tokPunct, ";"); err != nil {
+			return nil, err
+		}
+	}
+	if !p.at(tokPunct, ")") {
+		post, err := p.simpleClause()
+		if err != nil {
+			return nil, err
+		}
+		f.Post = post
+	}
+	if _, err := p.expect(tokPunct, ")"); err != nil {
+		return nil, err
+	}
+	body, err := p.blockOrSingle()
+	if err != nil {
+		return nil, err
+	}
+	f.Body = body
+	return f, nil
+}
+
+// simpleClause parses an assignment or expression without a trailing
+// semicolon (the post clause of a for loop).
+func (p *parser) simpleClause() (Stmt, error) {
+	if p.at(tokIdent, "") {
+		save := p.pos
+		name := p.cur()
+		p.advance()
+		var idx Expr
+		if p.accept(tokPunct, "[") {
+			e, err := p.expression()
+			if err != nil {
+				return nil, err
+			}
+			idx = e
+			if _, err := p.expect(tokPunct, "]"); err != nil {
+				return nil, err
+			}
+		}
+		if p.accept(tokPunct, "=") {
+			v, err := p.expression()
+			if err != nil {
+				return nil, err
+			}
+			return &Assign{Name: name.text, Index: idx, Value: v, Line: name.line}, nil
+		}
+		p.pos = save
+	}
+	e, err := p.expression()
+	if err != nil {
+		return nil, err
+	}
+	return &ExprStmt{X: e}, nil
+}
+
+func (p *parser) blockOrSingle() (*Block, error) {
+	if p.at(tokPunct, "{") {
+		return p.block()
+	}
+	s, err := p.statement()
+	if err != nil {
+		return nil, err
+	}
+	return &Block{Stmts: []Stmt{s}}, nil
+}
+
+// Precedence climbing. Levels, loosest first.
+var precLevels = [][]string{
+	{"||"},
+	{"&&"},
+	{"|"},
+	{"^"},
+	{"&"},
+	{"==", "!="},
+	{"<", ">", "<=", ">="},
+	{"<<", ">>"},
+	{"+", "-"},
+	{"*", "/", "%"},
+}
+
+func (p *parser) expression() (Expr, error) { return p.binary(0) }
+
+func (p *parser) binary(level int) (Expr, error) {
+	if level == len(precLevels) {
+		return p.unary()
+	}
+	left, err := p.binary(level + 1)
+	if err != nil {
+		return nil, err
+	}
+	for {
+		matched := false
+		for _, op := range precLevels[level] {
+			if p.at(tokPunct, op) {
+				line := p.line()
+				p.advance()
+				right, err := p.binary(level + 1)
+				if err != nil {
+					return nil, err
+				}
+				left = &Binary{Op: op, L: left, R: right, Line: line}
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			return left, nil
+		}
+	}
+}
+
+func (p *parser) unary() (Expr, error) {
+	for _, op := range []string{"-", "~", "!"} {
+		if p.at(tokPunct, op) {
+			line := p.line()
+			p.advance()
+			x, err := p.unary()
+			if err != nil {
+				return nil, err
+			}
+			return &Unary{Op: op, X: x, Line: line}, nil
+		}
+	}
+	return p.primary()
+}
+
+func (p *parser) primary() (Expr, error) {
+	t := p.cur()
+	switch {
+	case t.kind == tokNumber:
+		p.advance()
+		return &Num{Val: t.val, Line: t.line}, nil
+	case p.accept(tokPunct, "("):
+		e, err := p.expression()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokPunct, ")"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	case t.kind == tokIdent:
+		p.advance()
+		if p.accept(tokPunct, "(") {
+			call := &Call{Name: t.text, Line: t.line}
+			if !p.accept(tokPunct, ")") {
+				for {
+					a, err := p.expression()
+					if err != nil {
+						return nil, err
+					}
+					call.Args = append(call.Args, a)
+					if p.accept(tokPunct, ")") {
+						break
+					}
+					if _, err := p.expect(tokPunct, ","); err != nil {
+						return nil, err
+					}
+				}
+			}
+			return call, nil
+		}
+		if p.accept(tokPunct, "[") {
+			i, err := p.expression()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tokPunct, "]"); err != nil {
+				return nil, err
+			}
+			return &Index{Name: t.text, I: i, Line: t.line}, nil
+		}
+		return &Ident{Name: t.text, Line: t.line}, nil
+	default:
+		return nil, errf(t.line, "unexpected token %q in expression", t.text)
+	}
+}

@@ -1,0 +1,469 @@
+package rcc
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/r8asm"
+	"repro/internal/r8sim"
+	"repro/internal/sim"
+)
+
+// compileToMachine compiles, assembles and loads src into a fresh
+// functional machine with the stack placed above any generated code.
+func compileToMachine(t *testing.T, src string) *r8sim.Machine {
+	t.Helper()
+	asm, err := CompileOpts(src, Options{StackTop: 0xFEFF})
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	prog, err := r8asm.Assemble(asm)
+	if err != nil {
+		t.Fatalf("generated assembly does not assemble: %v\n--- asm ---\n%s", err, asm)
+	}
+	m := r8sim.New(65536)
+	if err := m.Load(prog); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// runMain executes until HALT and returns main's return value (R3).
+func runMain(t *testing.T, src string) int16 {
+	t.Helper()
+	m := compileToMachine(t, src)
+	halted, err := m.Run(2_000_000)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !halted {
+		t.Fatal("program did not halt")
+	}
+	return int16(m.Regs[3])
+}
+
+func TestReturnConstant(t *testing.T) {
+	if got := runMain(t, "int main() { return 42; }"); got != 42 {
+		t.Errorf("got %d", got)
+	}
+}
+
+func TestArithmeticPrecedence(t *testing.T) {
+	cases := []struct {
+		expr string
+		want int16
+	}{
+		{"2+3*4", 14},
+		{"(2+3)*4", 20},
+		{"10-2-3", 5},
+		{"100/7", 14},
+		{"100%7", 2},
+		{"-7/2", -3},
+		{"-7%2", -1},
+		{"7/-2", -3},
+		{"1<<10", 1024},
+		{"-16>>2", -4},
+		{"0x0F & 0x3C", 0x0C},
+		{"0x0F | 0x30", 0x3F},
+		{"0x0F ^ 0x05", 0x0A},
+		{"~0", -1},
+		{"-(3+4)", -7},
+		{"!0", 1},
+		{"!7", 0},
+		{"'A'", 65},
+	}
+	for _, tc := range cases {
+		t.Run(tc.expr, func(t *testing.T) {
+			if got := runMain(t, "int main() { return "+tc.expr+"; }"); got != tc.want {
+				t.Errorf("%s = %d, want %d", tc.expr, got, tc.want)
+			}
+		})
+	}
+}
+
+func TestComparisons(t *testing.T) {
+	cases := []struct {
+		expr string
+		want int16
+	}{
+		{"3 == 3", 1}, {"3 == 4", 0},
+		{"3 != 4", 1}, {"4 != 4", 0},
+		{"3 < 4", 1}, {"4 < 3", 0}, {"3 < 3", 0},
+		{"4 > 3", 1}, {"3 > 4", 0},
+		{"3 <= 3", 1}, {"3 <= 4", 1}, {"4 <= 3", 0},
+		{"3 >= 3", 1}, {"4 >= 3", 1}, {"3 >= 4", 0},
+		{"-5 < 3", 1}, {"3 < -5", 0},
+		{"-32768 < 32767", 1}, {"32767 < -32768", 0},
+		{"1 && 1", 1}, {"1 && 0", 0}, {"0 && 1", 0},
+		{"0 || 0", 0}, {"0 || 5", 1}, {"5 || 0", 1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.expr, func(t *testing.T) {
+			src := "int main() { return " + strings.ReplaceAll(tc.expr, "32768", "32767 - 32767 + 32768") + "; }"
+			// 32768 won't parse as a positive literal into int16 range;
+			// rewrite -32768 as -32767-1.
+			src = "int main() { return " + strings.ReplaceAll(tc.expr, "-32768", "(-32767-1)") + "; }"
+			if got := runMain(t, src); got != tc.want {
+				t.Errorf("%s = %d, want %d", tc.expr, got, tc.want)
+			}
+		})
+	}
+}
+
+func TestWhileLoopSum(t *testing.T) {
+	src := `
+	int main() {
+		int i = 1;
+		int sum = 0;
+		while (i <= 10) {
+			sum = sum + i;
+			i = i + 1;
+		}
+		return sum;
+	}`
+	if got := runMain(t, src); got != 55 {
+		t.Errorf("sum = %d, want 55", got)
+	}
+}
+
+func TestBreakContinue(t *testing.T) {
+	src := `
+	int main() {
+		int i = 0;
+		int sum = 0;
+		while (1) {
+			i = i + 1;
+			if (i > 10) break;
+			if (i % 2 == 0) continue;
+			sum = sum + i;   // odd numbers 1..9
+		}
+		return sum;
+	}`
+	if got := runMain(t, src); got != 25 {
+		t.Errorf("sum of odds = %d, want 25", got)
+	}
+}
+
+func TestFunctionsAndRecursion(t *testing.T) {
+	src := `
+	int fib(int n) {
+		if (n < 2) return n;
+		return fib(n-1) + fib(n-2);
+	}
+	int main() { return fib(10); }`
+	if got := runMain(t, src); got != 55 {
+		t.Errorf("fib(10) = %d, want 55", got)
+	}
+}
+
+func TestMultipleParamsAndNesting(t *testing.T) {
+	src := `
+	int mad(int a, int b, int c) { return a*b + c; }
+	int main() { return mad(mad(2,3,1), 2, mad(1,1,1)); }`
+	// mad(2,3,1)=7; mad(7,2,mad(1,1,1)=2) = 16.
+	if got := runMain(t, src); got != 16 {
+		t.Errorf("got %d, want 16", got)
+	}
+}
+
+func TestGlobalsAndArrays(t *testing.T) {
+	src := `
+	int sieve[50];
+	int count;
+	int main() {
+		int i = 2;
+		while (i < 50) { sieve[i] = 1; i = i + 1; }
+		i = 2;
+		while (i < 50) {
+			if (sieve[i]) {
+				count = count + 1;
+				int j = i + i;
+				while (j < 50) { sieve[j] = 0; j = j + i; }
+			}
+			i = i + 1;
+		}
+		return count;
+	}`
+	// Primes below 50: 2,3,5,7,11,13,17,19,23,29,31,37,41,43,47 = 15.
+	if got := runMain(t, src); got != 15 {
+		t.Errorf("primes = %d, want 15", got)
+	}
+}
+
+func TestPlacedGlobal(t *testing.T) {
+	src := `
+	int buf[4] @ 0x0300;
+	int main() {
+		buf[0] = 0x1234;
+		buf[3] = 7;
+		return buf[0];
+	}`
+	m := compileToMachine(t, src)
+	if _, err := m.Run(100000); err != nil {
+		t.Fatal(err)
+	}
+	if m.Mem[0x0300] != 0x1234 || m.Mem[0x0303] != 7 {
+		t.Errorf("placed array: mem[0x300]=%#x mem[0x303]=%d", m.Mem[0x0300], m.Mem[0x0303])
+	}
+}
+
+func TestPutcAndGetw(t *testing.T) {
+	src := `
+	int main() {
+		int v = getw();
+		putc('O'); putc('K');
+		putc(v);
+		return v;
+	}`
+	m := compileToMachine(t, src)
+	var out []byte
+	m.Printf = func(v uint16) { out = append(out, byte(v)) }
+	m.Scanf = func() uint16 { return '!' }
+	if _, err := m.Run(100000); err != nil {
+		t.Fatal(err)
+	}
+	if string(out) != "OK!" {
+		t.Errorf("output = %q, want OK!", out)
+	}
+}
+
+func TestPeekPoke(t *testing.T) {
+	src := `
+	int main() {
+		poke(0x0280, 99);
+		return peek(0x0280) + 1;
+	}`
+	m := compileToMachine(t, src)
+	if _, err := m.Run(100000); err != nil {
+		t.Fatal(err)
+	}
+	if m.Mem[0x0280] != 99 {
+		t.Errorf("poke missed: %d", m.Mem[0x0280])
+	}
+	if int16(m.Regs[3]) != 100 {
+		t.Errorf("peek+1 = %d", int16(m.Regs[3]))
+	}
+}
+
+func TestShortCircuitSideEffects(t *testing.T) {
+	src := `
+	int calls;
+	int bump() { calls = calls + 1; return 1; }
+	int main() {
+		int a = 0 && bump();  // bump must not run
+		int b = 1 || bump();  // bump must not run
+		int c = 1 && bump();  // bump runs
+		return calls;
+	}`
+	if got := runMain(t, src); got != 1 {
+		t.Errorf("side-effect calls = %d, want 1", got)
+	}
+}
+
+// TestArithmeticPropertyAgainstGo feeds random operand pairs through a
+// compiled all-operators program and compares every result with Go's
+// int16 semantics.
+func TestArithmeticPropertyAgainstGo(t *testing.T) {
+	src := `
+	int a; int b; int res[16];
+	int main() {
+		a = getw(); b = getw();
+		res[0] = a + b;  res[1] = a - b;  res[2] = a * b;
+		res[3] = a & b;  res[4] = a | b;  res[5] = a ^ b;
+		res[6] = a == b; res[7] = a != b;
+		res[8] = a < b;  res[9] = a > b;
+		res[10] = a <= b; res[11] = a >= b;
+		if (b != 0) { res[12] = a / b; res[13] = a % b; }
+		res[14] = -a; res[15] = ~a;
+		return 0;
+	}`
+	asm, err := CompileOpts(src, Options{StackTop: 0xFEFF})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := r8asm.Assemble(asm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resBase := prog.Symbols["g_res"]
+	if resBase == 0 {
+		t.Fatal("g_res symbol missing")
+	}
+	rng := sim.NewRand(31337)
+	for trial := 0; trial < 60; trial++ {
+		a := int16(rng.Uint64())
+		b := int16(rng.Uint64())
+		m := r8sim.New(65536)
+		if err := m.Load(prog); err != nil {
+			t.Fatal(err)
+		}
+		vals := []uint16{uint16(a), uint16(b)}
+		m.Scanf = func() uint16 { v := vals[0]; vals = vals[1:]; return v }
+		halted, err := m.Run(5_000_000)
+		if err != nil || !halted {
+			t.Fatalf("trial %d: halted=%v err=%v", trial, halted, err)
+		}
+		bool16 := func(v bool) int16 {
+			if v {
+				return 1
+			}
+			return 0
+		}
+		want := []int16{
+			a + b, a - b, a * b,
+			a & b, a | b, a ^ b,
+			bool16(a == b), bool16(a != b),
+			bool16(a < b), bool16(a > b),
+			bool16(a <= b), bool16(a >= b),
+			0, 0,
+			-a, ^a,
+		}
+		if b != 0 {
+			want[12], want[13] = a/b, a%b
+		}
+		for i, w := range want {
+			got := int16(m.Mem[resBase+uint16(i)])
+			if got != w {
+				t.Fatalf("trial %d (a=%d b=%d): res[%d] = %d, want %d", trial, a, b, i, got, w)
+			}
+		}
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	cases := []struct {
+		name, src, wantSub string
+	}{
+		{"no main", "int f() { return 1; }", "no main"},
+		{"main params", "int main(int x) { return x; }", "main must take no parameters"},
+		{"undefined var", "int main() { return x; }", "undefined variable"},
+		{"undefined func", "int main() { return f(); }", "undefined function"},
+		{"arity", "int f(int a) { return a; } int main() { return f(); }", "takes 1 argument"},
+		{"redefined func", "int f() {return 0;} int f() {return 1;} int main() {return 0;}", "redefined"},
+		{"redefined global", "int g; int g; int main() { return 0; }", "redefined"},
+		{"break outside", "int main() { break; return 0; }", "break outside loop"},
+		{"continue outside", "int main() { continue; }", "continue outside loop"},
+		{"assign array", "int a[4]; int main() { a = 1; return 0; }", "without an index"},
+		{"shadow intrinsic", "int putc(int c) { return c; } int main() { return 0; }", "shadows an intrinsic"},
+		{"local shadows param", "int f(int a) { int a; return a; } int main() { return 0; }", "shadows parameter"},
+		{"syntax", "int main() { return 1 +; }", "unexpected token"},
+		{"lex", "int main() { return `; }", "unexpected character"},
+		{"unterminated comment", "/* int main() { return 0; }", "unterminated block comment"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Compile(tc.src)
+			if err == nil {
+				t.Fatal("compiled without error")
+			}
+			if !strings.Contains(err.Error(), tc.wantSub) {
+				t.Errorf("error %q does not mention %q", err, tc.wantSub)
+			}
+		})
+	}
+}
+
+func TestDeepExpressionStack(t *testing.T) {
+	// Nested temporaries must balance the hardware stack.
+	src := `
+	int main() {
+		return ((1+2)*(3+4) - (5-2)*(1+1)) * ((2*2) + (3*3));
+	}`
+	// (3*7 - 3*2) * (4+9) = 15*13 = 195.
+	if got := runMain(t, src); got != 195 {
+		t.Errorf("got %d, want 195", got)
+	}
+}
+
+func TestLargeFunctionFarJumps(t *testing.T) {
+	// A loop body big enough to overflow short jump displacements; the
+	// far-jump forms must keep it assembling and running.
+	var b strings.Builder
+	b.WriteString("int acc; int main() { int i = 0; while (i < 3) {\n")
+	for k := 0; k < 60; k++ {
+		b.WriteString("acc = acc + 1; acc = acc ^ 0; \n")
+	}
+	b.WriteString("i = i + 1; }\nreturn acc; }")
+	if got := runMain(t, b.String()); got != 180 {
+		t.Errorf("got %d, want 180", got)
+	}
+}
+
+func TestForLoop(t *testing.T) {
+	src := `
+	int main() {
+		int sum = 0;
+		int i;
+		for (i = 1; i <= 10; i = i + 1) sum = sum + i;
+		return sum;
+	}`
+	if got := runMain(t, src); got != 55 {
+		t.Errorf("for sum = %d, want 55", got)
+	}
+}
+
+func TestForWithDeclInit(t *testing.T) {
+	src := `
+	int main() {
+		int sum = 0;
+		for (int i = 0; i < 5; i = i + 1) {
+			sum = sum + i * i;
+		}
+		return sum;   // 0+1+4+9+16 = 30
+	}`
+	if got := runMain(t, src); got != 30 {
+		t.Errorf("got %d, want 30", got)
+	}
+}
+
+func TestForEmptyClauses(t *testing.T) {
+	src := `
+	int main() {
+		int i = 0;
+		for (;;) {
+			i = i + 1;
+			if (i == 7) break;
+		}
+		return i;
+	}`
+	if got := runMain(t, src); got != 7 {
+		t.Errorf("got %d, want 7", got)
+	}
+}
+
+func TestForContinueRunsPost(t *testing.T) {
+	// continue must execute the post clause (C semantics), otherwise
+	// this loop never terminates.
+	src := `
+	int main() {
+		int sum = 0;
+		for (int i = 0; i < 10; i = i + 1) {
+			if (i % 2 == 0) continue;
+			sum = sum + i;   // 1+3+5+7+9 = 25
+		}
+		return sum;
+	}`
+	if got := runMain(t, src); got != 25 {
+		t.Errorf("got %d, want 25", got)
+	}
+}
+
+func TestNestedForLoops(t *testing.T) {
+	src := `
+	int main() {
+		int acc = 0;
+		for (int i = 1; i <= 3; i = i + 1)
+			for (int j = 1; j <= 4; j = j + 1)
+				acc = acc + i * j;
+		return acc;   // (1+2+3)*(1+2+3+4) = 60
+	}`
+	if got := runMain(t, src); got != 60 {
+		t.Errorf("got %d, want 60", got)
+	}
+}
+
+func TestForBadInit(t *testing.T) {
+	if _, err := Compile("int main() { for (if (1) {} ; 1;) {} return 0; }"); err == nil {
+		t.Error("statement initializer accepted")
+	}
+}

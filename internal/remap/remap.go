@@ -1,0 +1,251 @@
+// Package remap implements the paper's partial/dynamic reconfiguration
+// research direction (§5): "the IP cores position be modified in
+// execution at run-time, favoring the IPs communication with improved
+// throughput."
+//
+// Given a measured traffic matrix (packets exchanged between IPs) and a
+// mesh, the optimizer searches the assignment of IPs to routers that
+// minimizes total communication cost — the sum over flows of
+// volume x hop-distance — using deterministic simulated annealing. The
+// result is the placement a reconfiguration controller would load; the
+// predicted improvement is validated against actual simulation in the
+// package tests and the A-series experiments.
+package remap
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/noc"
+	"repro/internal/sim"
+)
+
+// Flow is directed traffic volume between two IPs (arbitrary units;
+// flits or packets).
+type Flow struct {
+	From, To string
+	Volume   float64
+}
+
+// Problem is a placement-optimization instance.
+type Problem struct {
+	Width, Height int
+	// IPs lists the movable cores. Pinned IPs keep their position
+	// (e.g. the Serial IP must stay next to its pads).
+	IPs    []string
+	Pinned map[string]noc.Addr
+	Flows  []Flow
+}
+
+// Placement assigns each IP a router.
+type Placement map[string]noc.Addr
+
+// Cost is the total volume-weighted hop count of the placement.
+func (p *Problem) Cost(pl Placement) (float64, error) {
+	total := 0.0
+	for _, f := range p.Flows {
+		a, ok := pl[f.From]
+		if !ok {
+			return 0, fmt.Errorf("remap: flow source %q unplaced", f.From)
+		}
+		b, ok := pl[f.To]
+		if !ok {
+			return 0, fmt.Errorf("remap: flow target %q unplaced", f.To)
+		}
+		total += f.Volume * float64(noc.HopCount(a, b))
+	}
+	return total, nil
+}
+
+// validate checks the instance.
+func (p *Problem) validate() error {
+	if p.Width < 1 || p.Height < 1 {
+		return fmt.Errorf("remap: bad mesh %dx%d", p.Width, p.Height)
+	}
+	if len(p.IPs) > p.Width*p.Height {
+		return fmt.Errorf("remap: %d IPs exceed %d routers", len(p.IPs), p.Width*p.Height)
+	}
+	seen := map[string]bool{}
+	for _, ip := range p.IPs {
+		if seen[ip] {
+			return fmt.Errorf("remap: IP %q listed twice", ip)
+		}
+		seen[ip] = true
+	}
+	for name, at := range p.Pinned {
+		if !seen[name] {
+			return fmt.Errorf("remap: pinned IP %q not in the IP list", name)
+		}
+		if at.X < 0 || at.X >= p.Width || at.Y < 0 || at.Y >= p.Height {
+			return fmt.Errorf("remap: pin %q at %s outside the mesh", name, at)
+		}
+	}
+	return nil
+}
+
+// initial builds a deterministic row-major placement honouring pins.
+func (p *Problem) initial() Placement {
+	pl := make(Placement, len(p.IPs))
+	used := map[noc.Addr]bool{}
+	for name, at := range p.Pinned {
+		pl[name] = at
+		used[at] = true
+	}
+	var free []noc.Addr
+	for y := 0; y < p.Height; y++ {
+		for x := 0; x < p.Width; x++ {
+			a := noc.Addr{X: x, Y: y}
+			if !used[a] {
+				free = append(free, a)
+			}
+		}
+	}
+	names := append([]string(nil), p.IPs...)
+	sort.Strings(names)
+	i := 0
+	for _, name := range names {
+		if _, pinned := p.Pinned[name]; pinned {
+			continue
+		}
+		pl[name] = free[i]
+		i++
+	}
+	return pl
+}
+
+// Result is an optimization outcome.
+type Result struct {
+	Placement Placement
+	Cost      float64
+	Initial   float64
+	// Improvement is 1 - Cost/Initial.
+	Improvement float64
+}
+
+// Optimize anneals the assignment. Movable IPs swap routers (or move to
+// empty ones); pinned IPs never move.
+func (p *Problem) Optimize(seed uint64, iters int) (Result, error) {
+	if err := p.validate(); err != nil {
+		return Result{}, err
+	}
+	cur := p.initial()
+	curCost, err := p.Cost(cur)
+	if err != nil {
+		return Result{}, err
+	}
+	res := Result{Initial: curCost}
+	var movable []string
+	for _, ip := range p.IPs {
+		if _, pinned := p.Pinned[ip]; !pinned {
+			movable = append(movable, ip)
+		}
+	}
+	if len(movable) == 0 || iters <= 0 {
+		res.Placement, res.Cost = cur, curCost
+		return res, nil
+	}
+	// All mesh cells are swap candidates; occupied-by describes the
+	// inverse mapping.
+	occ := map[noc.Addr]string{}
+	for name, at := range cur {
+		occ[at] = name
+	}
+	var cells []noc.Addr
+	for y := 0; y < p.Height; y++ {
+		for x := 0; x < p.Width; x++ {
+			cells = append(cells, noc.Addr{X: x, Y: y})
+		}
+	}
+	pinnedAt := map[noc.Addr]bool{}
+	for _, at := range p.Pinned {
+		pinnedAt[at] = true
+	}
+
+	r := sim.NewRand(seed)
+	best := clonePlacement(cur)
+	bestCost := curCost
+	t0 := curCost/4 + 1
+	for i := 0; i < iters; i++ {
+		temp := t0 * float64(iters-i) / float64(iters)
+		name := movable[r.Intn(len(movable))]
+		from := cur[name]
+		to := cells[r.Intn(len(cells))]
+		if to == from || pinnedAt[to] {
+			continue
+		}
+		other, occupied := occ[to]
+		// Apply the move/swap.
+		cur[name] = to
+		occ[to] = name
+		if occupied {
+			cur[other] = from
+			occ[from] = other
+		} else {
+			delete(occ, from)
+		}
+		cc, err := p.Cost(cur)
+		if err != nil {
+			return Result{}, err
+		}
+		accept := cc <= curCost
+		if !accept && temp > 0 {
+			accept = r.Float64() < (curCost-cc)/temp+0.5 && cc-curCost < temp
+		}
+		if accept {
+			curCost = cc
+			if cc < bestCost {
+				best, bestCost = clonePlacement(cur), cc
+			}
+			continue
+		}
+		// Revert.
+		cur[name] = from
+		occ[from] = name
+		if occupied {
+			cur[other] = to
+			occ[to] = other
+		} else {
+			delete(occ, to)
+		}
+	}
+	res.Placement = best
+	res.Cost = bestCost
+	if res.Initial > 0 {
+		res.Improvement = 1 - res.Cost/res.Initial
+	}
+	return res, nil
+}
+
+func clonePlacement(pl Placement) Placement {
+	out := make(Placement, len(pl))
+	for k, v := range pl {
+		out[k] = v
+	}
+	return out
+}
+
+// MatrixFromMetas builds a flow list from delivered packet metadata,
+// naming IPs by their router address string — the "measured traffic"
+// input a runtime reconfiguration controller would use.
+func MatrixFromMetas(metas []*noc.PacketMeta) []Flow {
+	vol := map[[2]noc.Addr]float64{}
+	for _, m := range metas {
+		vol[[2]noc.Addr{m.Src, m.Dst}] += float64(m.Len)
+	}
+	keys := make([][2]noc.Addr, 0, len(vol))
+	for k := range vol {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		if a[0] != b[0] {
+			return a[0].Encode() < b[0].Encode()
+		}
+		return a[1].Encode() < b[1].Encode()
+	})
+	flows := make([]Flow, 0, len(keys))
+	for _, k := range keys {
+		flows = append(flows, Flow{From: k[0].String(), To: k[1].String(), Volume: vol[k]})
+	}
+	return flows
+}

@@ -1,0 +1,171 @@
+package serial
+
+import (
+	"fmt"
+
+	"repro/internal/noc"
+)
+
+// auto-baud states.
+const (
+	abWait = iota // line idle, waiting for the sync byte's start bit
+	abMeasure
+	abSettle
+	abDone
+)
+
+// IP is the Serial IP core (§2.2): it assembles NoC packets from host
+// command bytes arriving on rxd and disassembles NoC packets into frame
+// bytes on txd. Before anything else it measures the host baud rate
+// from the 0x55 synchronization byte (§4).
+type IP struct {
+	ep  *noc.Endpoint
+	utx *TX
+	urx *RX
+
+	parser  downParser
+	abState int
+	abCnt   int
+	abDiv   int
+
+	// Stats.
+	FramesToNoC  uint64
+	FramesToHost uint64
+	EncodeErrors uint64
+	PacketErrors uint64
+}
+
+// NewIP creates the Serial IP on the router at addr. rxd carries data
+// from the host (the system's "tx" pin in Figure 1), txd to the host.
+// The IP registers itself with the network's clock.
+func NewIP(net *noc.Network, addr noc.Addr, rxd, txd *Line) (*IP, error) {
+	ep, err := net.NewEndpoint(addr)
+	if err != nil {
+		return nil, err
+	}
+	ip := &IP{
+		ep:      ep,
+		utx:     NewTX(txd, 0),
+		urx:     NewRX(rxd, 0),
+		abState: abWait,
+	}
+	ip.urx.Recv = ip.feed
+	net.Clock().Register(ip)
+	return ip, nil
+}
+
+// Baud reports the detected divisor (0 before synchronization).
+func (ip *IP) Baud() int { return ip.abDiv }
+
+// Synchronized reports whether auto-baud has completed.
+func (ip *IP) Synchronized() bool { return ip.abState == abDone }
+
+// Addr returns the IP's mesh address.
+func (ip *IP) Addr() noc.Addr { return ip.ep.Addr() }
+
+// Name implements sim.Component.
+func (ip *IP) Name() string { return fmt.Sprintf("serialip%s", ip.ep.Addr()) }
+
+// feed handles one received host byte.
+func (ip *IP) feed(b byte) {
+	m, tgt, ok := ip.parser.Feed(b)
+	if !ok {
+		return
+	}
+	ip.FramesToNoC++
+	// Oversized writes are split into multiple service packets so the
+	// 8-bit size flit can express them.
+	if m.Svc == noc.SvcWriteMem && len(m.Words) > noc.MaxServiceWords {
+		for _, span := range noc.SplitWords(m.Addr, m.Words) {
+			sub := &noc.Message{Svc: noc.SvcWriteMem, Addr: span.Addr, Words: span.Words}
+			if _, err := ip.ep.SendMessage(tgt, sub); err != nil {
+				ip.EncodeErrors++
+			}
+		}
+		return
+	}
+	if m.Svc == noc.SvcReadMem && m.Count > noc.MaxServiceWords {
+		addr, left := m.Addr, m.Count
+		for left > 0 {
+			n := left
+			if n > noc.MaxServiceWords {
+				n = noc.MaxServiceWords
+			}
+			sub := &noc.Message{Svc: noc.SvcReadMem, Addr: addr, Count: n}
+			if _, err := ip.ep.SendMessage(tgt, sub); err != nil {
+				ip.EncodeErrors++
+			}
+			addr += uint16(n)
+			left -= n
+		}
+		return
+	}
+	if _, err := ip.ep.SendMessage(tgt, m); err != nil {
+		ip.EncodeErrors++
+	}
+}
+
+// Eval implements sim.Component.
+func (ip *IP) Eval() {
+	ip.tickAutobaud()
+	ip.urx.Tick()
+	// NoC -> host direction.
+	for {
+		m, ok, err := ip.ep.RecvMessage()
+		if !ok {
+			break
+		}
+		if err != nil {
+			ip.PacketErrors++
+			continue
+		}
+		bs, err := EncodeUp(m)
+		if err != nil {
+			ip.EncodeErrors++
+			continue
+		}
+		ip.FramesToHost++
+		ip.utx.Queue(bs...)
+	}
+	ip.utx.Tick()
+}
+
+func (ip *IP) tickAutobaud() {
+	if ip.abState == abDone {
+		return
+	}
+	low := !ip.urx.line.Get()
+	switch ip.abState {
+	case abWait:
+		if low {
+			ip.abState = abMeasure
+			ip.abCnt = 1
+		}
+	case abMeasure:
+		if low {
+			ip.abCnt++
+			return
+		}
+		// The 0x55 sync byte's start bit is exactly one bit period: the
+		// low span we just measured is the divisor.
+		ip.abDiv = ip.abCnt
+		ip.abState = abSettle
+		ip.abCnt = 0
+	case abSettle:
+		// Wait for the rest of the sync byte to pass: three bit periods
+		// of continuous idle-high only occur after the stop bit.
+		if low {
+			ip.abCnt = 0
+			return
+		}
+		ip.abCnt++
+		if ip.abCnt >= 3*ip.abDiv {
+			ip.urx.SetDiv(ip.abDiv)
+			ip.utx.div = ip.abDiv
+			ip.abState = abDone
+		}
+	}
+}
+
+// Commit implements sim.Component.
+func (ip *IP) Commit() {}

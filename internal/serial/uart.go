@@ -1,0 +1,162 @@
+// Package serial implements the MultiNoC Serial IP core (§2.2) and the
+// RS-232 machinery under it: a bit-level UART line model (start bit,
+// eight data bits LSB-first, stop bit), auto-baud detection from the
+// 0x55 synchronization byte (§4), and the framing that turns host
+// command bytes into NoC service packets and back.
+package serial
+
+import "repro/internal/sim"
+
+// Line is one RS-232 signal (idle high). The paper's tx/rx pair is two
+// Lines, one per direction.
+type Line = sim.Wire[bool]
+
+// NewLine creates an idle-high line in clk's domain.
+func NewLine(clk *sim.Clock, name string) *Line {
+	return sim.NewWire(clk, name, true)
+}
+
+// TX serializes bytes onto a line at a fixed divisor (clock cycles per
+// bit). The owning component calls Tick once per cycle and Queue to
+// append bytes; Queue is safe during the owner's Eval.
+type TX struct {
+	line *Line
+	div  int
+
+	queue []byte
+	// shift register state: 1 start + 8 data + 1 stop.
+	bits   uint16
+	bitIdx int
+	cnt    int
+	active bool
+
+	// Gap inserts idle cycles after each byte (used by the host to
+	// separate the auto-baud byte from the first frame).
+	Gap     int
+	gapLeft int
+
+	Sent uint64
+}
+
+// NewTX returns a transmitter for line at div clock cycles per bit.
+func NewTX(line *Line, div int) *TX { return &TX{line: line, div: div} }
+
+// Queue appends bytes for transmission.
+func (t *TX) Queue(bs ...byte) { t.queue = append(t.queue, bs...) }
+
+// Idle reports whether the transmitter has nothing to send.
+func (t *TX) Idle() bool { return !t.active && len(t.queue) == 0 && t.gapLeft == 0 }
+
+// QueueLen reports how many bytes await transmission.
+func (t *TX) QueueLen() int { return len(t.queue) }
+
+// Div reports the configured divisor.
+func (t *TX) Div() int { return t.div }
+
+// Tick advances the transmitter by one clock cycle.
+func (t *TX) Tick() {
+	if t.gapLeft > 0 {
+		t.gapLeft--
+		t.line.Set(true)
+		return
+	}
+	if !t.active {
+		if len(t.queue) == 0 {
+			t.line.Set(true)
+			return
+		}
+		b := t.queue[0]
+		t.queue = t.queue[1:]
+		// LSB first, framed by start (0) and stop (1).
+		t.bits = uint16(b)<<1 | 1<<9
+		t.bitIdx = 0
+		t.cnt = 0
+		t.active = true
+	}
+	t.line.Set(t.bits>>t.bitIdx&1 != 0)
+	t.cnt++
+	if t.cnt == t.div {
+		t.cnt = 0
+		t.bitIdx++
+		if t.bitIdx == 10 {
+			t.active = false
+			t.Sent++
+			t.gapLeft = t.Gap
+		}
+	}
+}
+
+// RX deserializes bytes from a line. SetDiv configures the divisor
+// (possibly discovered by auto-baud); bytes appear via the Recv hook.
+type RX struct {
+	line *Line
+	div  int
+
+	state  int // 0 idle, 1 receiving
+	cnt    int
+	bitIdx int
+	cur    uint16
+
+	// Recv is called for every received byte during Tick.
+	Recv func(b byte)
+
+	Received   uint64
+	FrameError uint64
+}
+
+// NewRX returns a receiver for line at div cycles per bit (0 = not yet
+// known; Tick ignores traffic until SetDiv).
+func NewRX(line *Line, div int) *RX { return &RX{line: line, div: div} }
+
+// SetDiv sets the divisor, typically from auto-baud measurement.
+func (r *RX) SetDiv(div int) { r.div = div }
+
+// Div reports the current divisor (0 when undetected).
+func (r *RX) Div() int { return r.div }
+
+// Tick advances the receiver by one clock cycle.
+func (r *RX) Tick() {
+	if r.div <= 0 {
+		return
+	}
+	bit := r.line.Get()
+	switch r.state {
+	case 0:
+		if !bit { // start bit edge
+			r.state = 1
+			r.cnt = r.div / 2 // sample mid-bit
+			r.bitIdx = -1     // -1 = verifying start bit
+			r.cur = 0
+		}
+	case 1:
+		r.cnt--
+		if r.cnt > 0 {
+			return
+		}
+		r.cnt = r.div
+		switch {
+		case r.bitIdx == -1:
+			if bit { // start bit vanished: glitch
+				r.state = 0
+				r.FrameError++
+				return
+			}
+			r.bitIdx = 0
+		case r.bitIdx < 8:
+			if bit {
+				r.cur |= 1 << r.bitIdx
+			}
+			r.bitIdx++
+		default: // stop bit
+			if bit {
+				r.Received++
+				if r.Recv != nil {
+					r.Recv(byte(r.cur))
+				}
+			} else {
+				r.FrameError++
+			}
+			r.state = 0
+		}
+	}
+}

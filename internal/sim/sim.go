@@ -1,0 +1,110 @@
+// Package sim provides the two-phase synchronous simulation kernel that
+// every hardware model in this repository runs on.
+//
+// The kernel mirrors register-transfer-level semantics: a component reads
+// the *current* value of its input wires during Eval and computes its next
+// state; Commit then latches all next states at once, like a global clock
+// edge hitting every flip-flop. Because no Eval can observe another
+// component's same-cycle output, simulation results are independent of
+// component registration order, making every run bit-for-bit
+// deterministic.
+package sim
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Component is a clocked hardware block. Eval must only read wire values
+// published in previous cycles (Wire.Get) and stage new ones (Wire.Set);
+// Commit latches internal registers. Components must not communicate
+// outside of Wires.
+type Component interface {
+	// Name identifies the component in traces and error messages.
+	Name() string
+	// Eval performs the combinational phase for the current cycle.
+	Eval()
+	// Commit performs the clock-edge phase, latching state computed by
+	// Eval.
+	Commit()
+}
+
+// latcher is the internal interface wires implement so the clock can
+// latch them after all components commit.
+type latcher interface{ latch() }
+
+// Clock drives a set of components and wires with a shared synchronous
+// clock. The zero value is ready to use.
+type Clock struct {
+	comps  []Component
+	wires  []latcher
+	cycle  uint64
+	probes []func(cycle uint64)
+}
+
+// NewClock returns an empty clock domain.
+func NewClock() *Clock { return &Clock{} }
+
+// Register adds components to the clock domain. Registering the same
+// component twice double-clocks it; callers must not do that.
+func (c *Clock) Register(comps ...Component) {
+	c.comps = append(c.comps, comps...)
+}
+
+// Attach adds wires to the clock domain so their staged values latch on
+// every cycle boundary. Wires created through NewWire on a clock are
+// attached automatically.
+func (c *Clock) Attach(wires ...latcher) {
+	c.wires = append(c.wires, wires...)
+}
+
+// Probe registers a function invoked after every cycle commits, with the
+// just-completed cycle number. Probes observe post-edge state; they are
+// the hook used for waveform tracing and statistics.
+func (c *Clock) Probe(fn func(cycle uint64)) {
+	c.probes = append(c.probes, fn)
+}
+
+// Cycle reports how many clock cycles have elapsed.
+func (c *Clock) Cycle() uint64 { return c.cycle }
+
+// Step advances the simulation by exactly one clock cycle.
+func (c *Clock) Step() {
+	for _, comp := range c.comps {
+		comp.Eval()
+	}
+	for _, comp := range c.comps {
+		comp.Commit()
+	}
+	for _, w := range c.wires {
+		w.latch()
+	}
+	c.cycle++
+	for _, p := range c.probes {
+		p(c.cycle)
+	}
+}
+
+// Run advances the simulation by n cycles.
+func (c *Clock) Run(n uint64) {
+	for i := uint64(0); i < n; i++ {
+		c.Step()
+	}
+}
+
+// ErrTimeout reports that RunUntil exhausted its cycle budget before the
+// predicate became true.
+var ErrTimeout = errors.New("sim: watchdog timeout")
+
+// RunUntil steps the clock until pred returns true, or fails with
+// ErrTimeout after maxCycles additional cycles. pred is evaluated after
+// each cycle commits.
+func (c *Clock) RunUntil(pred func() bool, maxCycles uint64) error {
+	for i := uint64(0); i < maxCycles; i++ {
+		c.Step()
+		if pred() {
+			return nil
+		}
+	}
+	return fmt.Errorf("%w after %d cycles", ErrTimeout, maxCycles)
+}

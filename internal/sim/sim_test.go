@@ -1,0 +1,177 @@
+package sim
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+// counter increments a register every cycle and drives it onto a wire.
+type counter struct {
+	n   uint64
+	out *Wire[uint64]
+}
+
+func (c *counter) Name() string { return "counter" }
+func (c *counter) Eval()        { c.out.Set(c.n + 1) }
+func (c *counter) Commit()      { c.n++ }
+
+// follower copies its input wire into a register.
+type follower struct {
+	in   *Wire[uint64]
+	seen []uint64
+	next uint64
+}
+
+func (f *follower) Name() string { return "follower" }
+func (f *follower) Eval()        { f.next = f.in.Get() }
+func (f *follower) Commit()      { f.seen = append(f.seen, f.next) }
+
+func TestWireRegistersOneCycle(t *testing.T) {
+	clk := NewClock()
+	w := NewWire(clk, "w", uint64(0))
+	c := &counter{out: w}
+	f := &follower{in: w}
+	clk.Register(c, f)
+
+	clk.Run(4)
+	// The follower must see each counter value exactly one cycle late:
+	// cycle 1 it reads the initial 0, cycle 2 it reads 1 (staged during
+	// cycle 1), etc.
+	want := []uint64{0, 1, 2, 3}
+	if len(f.seen) != len(want) {
+		t.Fatalf("follower saw %d values, want %d", len(f.seen), len(want))
+	}
+	for i, v := range want {
+		if f.seen[i] != v {
+			t.Errorf("cycle %d: follower saw %d, want %d", i+1, f.seen[i], v)
+		}
+	}
+}
+
+func TestOrderIndependence(t *testing.T) {
+	// Two clock domains with the same components registered in opposite
+	// order must produce identical traces.
+	run := func(swap bool) []uint64 {
+		clk := NewClock()
+		w := NewWire(clk, "w", uint64(0))
+		c := &counter{out: w}
+		f := &follower{in: w}
+		if swap {
+			clk.Register(f, c)
+		} else {
+			clk.Register(c, f)
+		}
+		clk.Run(16)
+		return f.seen
+	}
+	a, b := run(false), run(true)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("cycle %d: order-dependent result %d vs %d", i, a[i], b[i])
+		}
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	clk := NewClock()
+	w := NewWire(clk, "w", uint64(0))
+	c := &counter{out: w}
+	clk.Register(c)
+
+	if err := clk.RunUntil(func() bool { return c.n == 10 }, 100); err != nil {
+		t.Fatalf("RunUntil: %v", err)
+	}
+	if clk.Cycle() != 10 {
+		t.Errorf("cycle = %d, want 10", clk.Cycle())
+	}
+	err := clk.RunUntil(func() bool { return false }, 5)
+	if !errors.Is(err, ErrTimeout) {
+		t.Errorf("RunUntil error = %v, want ErrTimeout", err)
+	}
+	if clk.Cycle() != 15 {
+		t.Errorf("cycle after timeout = %d, want 15", clk.Cycle())
+	}
+}
+
+func TestProbeSeesPostEdgeState(t *testing.T) {
+	clk := NewClock()
+	w := NewWire(clk, "w", uint64(0))
+	c := &counter{out: w}
+	clk.Register(c)
+	var got []uint64
+	clk.Probe(func(cycle uint64) { got = append(got, w.Get()) })
+	clk.Run(3)
+	want := []uint64{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("probe %d saw %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestWireHoldsValue(t *testing.T) {
+	clk := NewClock()
+	w := NewWire(clk, "w", 42)
+	clk.Run(5)
+	if w.Get() != 42 {
+		t.Errorf("undriven wire = %d, want 42", w.Get())
+	}
+	w.Set(7)
+	if w.Get() != 42 {
+		t.Errorf("wire visible before edge: %d, want 42", w.Get())
+	}
+	clk.Step()
+	if w.Get() != 7 {
+		t.Errorf("wire after edge = %d, want 7", w.Get())
+	}
+}
+
+func TestRandDeterminism(t *testing.T) {
+	a, b := NewRand(123), NewRand(123)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same-seed generators diverged at step %d", i)
+		}
+	}
+	c := NewRand(124)
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if NewRand(123).Uint64() == c.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Errorf("different seeds produced %d collisions in 1000 draws", same)
+	}
+}
+
+func TestRandIntnRange(t *testing.T) {
+	r := NewRand(7)
+	if err := quick.Check(func(n uint8) bool {
+		m := int(n%63) + 1
+		v := r.Intn(m)
+		return v >= 0 && v < m
+	}, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRandFloat64Range(t *testing.T) {
+	r := NewRand(99)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %v", f)
+		}
+	}
+}
+
+func TestRandIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Intn(0) did not panic")
+		}
+	}()
+	NewRand(1).Intn(0)
+}

@@ -1,0 +1,34 @@
+package sim
+
+// Wire is a single-driver registered signal. A component stages a value
+// with Set during Eval; the value becomes visible through Get only after
+// the cycle's Commit phase, exactly like a D flip-flop between two
+// modules. A wire holds its value until the driver stages a new one.
+type Wire[T any] struct {
+	cur, next T
+	name      string
+}
+
+// NewWire creates a wire attached to clk, carrying v both as the current
+// and staged value.
+func NewWire[T any](clk *Clock, name string, v T) *Wire[T] {
+	w := &Wire[T]{cur: v, next: v, name: name}
+	clk.Attach(w)
+	return w
+}
+
+// Name reports the wire's diagnostic name.
+func (w *Wire[T]) Name() string { return w.name }
+
+// Get returns the value latched at the previous clock edge.
+func (w *Wire[T]) Get() T { return w.cur }
+
+// Set stages v to become visible after the next clock edge. Only the
+// wire's single driver may call Set.
+func (w *Wire[T]) Set(v T) { w.next = v }
+
+// Peek returns the currently staged (pre-edge) value. It exists for
+// tests and tracing only; synthesizable component logic must use Get.
+func (w *Wire[T]) Peek() T { return w.next }
+
+func (w *Wire[T]) latch() { w.cur = w.next }

@@ -1,0 +1,291 @@
+// Package traffic provides synthetic workload generation and
+// measurement harnesses for Hermes NoC experiments: injection-rate
+// sweeps under classic patterns (uniform, transpose, bit-complement,
+// hotspot), single-packet latency probes for validating the paper's
+// latency formula, and the five-connection peak-throughput setup behind
+// the 1 Gbit/s router claim (§2.1).
+package traffic
+
+import (
+	"fmt"
+
+	"repro/internal/noc"
+	"repro/internal/sim"
+)
+
+// Pattern picks a destination for a packet injected at src.
+type Pattern func(src noc.Addr, r *sim.Rand, cfg noc.Config) noc.Addr
+
+// Uniform sends to any node but the source, uniformly.
+func Uniform(src noc.Addr, r *sim.Rand, cfg noc.Config) noc.Addr {
+	for {
+		d := noc.Addr{X: r.Intn(cfg.Width), Y: r.Intn(cfg.Height)}
+		if d != src {
+			return d
+		}
+	}
+}
+
+// Transpose sends (x,y) to (y,x); diagonal nodes fall back to uniform.
+func Transpose(src noc.Addr, r *sim.Rand, cfg noc.Config) noc.Addr {
+	d := noc.Addr{X: src.Y, Y: src.X}
+	if d == src || d.X >= cfg.Width || d.Y >= cfg.Height {
+		return Uniform(src, r, cfg)
+	}
+	return d
+}
+
+// BitComplement sends (x,y) to (W-1-x, H-1-y); the centre falls back to
+// uniform.
+func BitComplement(src noc.Addr, r *sim.Rand, cfg noc.Config) noc.Addr {
+	d := noc.Addr{X: cfg.Width - 1 - src.X, Y: cfg.Height - 1 - src.Y}
+	if d == src {
+		return Uniform(src, r, cfg)
+	}
+	return d
+}
+
+// Hotspot sends a fraction of traffic to a fixed node, the rest
+// uniformly.
+func Hotspot(spot noc.Addr, fraction float64) Pattern {
+	return func(src noc.Addr, r *sim.Rand, cfg noc.Config) noc.Addr {
+		if src != spot && r.Bool(fraction) {
+			return spot
+		}
+		return Uniform(src, r, cfg)
+	}
+}
+
+// Config parameterizes a load experiment.
+type Config struct {
+	// Pattern picks destinations (Uniform if nil).
+	Pattern Pattern
+	// Rate is the offered load in flits/cycle/node (link capacity is
+	// 0.5 flits/cycle, so saturation sits well below that).
+	Rate float64
+	// PayloadFlits is the packet payload size.
+	PayloadFlits int
+	// Seed makes the workload reproducible.
+	Seed uint64
+	// Warmup, Measure and Drain are phase lengths in cycles.
+	Warmup  int
+	Measure int
+	Drain   int
+	// QueueCap skips injection at a node whose endpoint queue already
+	// holds this many flits (source-queue backpressure). 0 means 64.
+	QueueCap int
+}
+
+// Result reports a load experiment.
+type Result struct {
+	// Offered is the load the generator attempted, flits/cycle/node.
+	Offered float64
+	// Accepted is the load actually injected, flits/cycle/node.
+	Accepted float64
+	// Delivered is the throughput: flits ejected per cycle per node
+	// during the measurement window.
+	Delivered float64
+	// Latency summarizes packets injected during the measurement
+	// window.
+	Latency noc.LatencyStats
+	// MeasuredPackets is the number of packets behind Latency.
+	MeasuredPackets int
+}
+
+// Run executes a load experiment on a fresh network.
+func Run(ncfg noc.Config, tcfg Config) (Result, error) {
+	if tcfg.Pattern == nil {
+		tcfg.Pattern = Uniform
+	}
+	if tcfg.QueueCap == 0 {
+		tcfg.QueueCap = 64
+	}
+	if tcfg.PayloadFlits <= 0 {
+		return Result{}, fmt.Errorf("traffic: payload must be positive")
+	}
+	clk := sim.NewClock()
+	net, err := noc.New(clk, ncfg)
+	if err != nil {
+		return Result{}, err
+	}
+	type node struct {
+		ep  *noc.Endpoint
+		rng *sim.Rand
+	}
+	var nodes []node
+	for x := 0; x < ncfg.Width; x++ {
+		for y := 0; y < ncfg.Height; y++ {
+			ep, err := net.NewEndpoint(noc.Addr{X: x, Y: y})
+			if err != nil {
+				return Result{}, err
+			}
+			nodes = append(nodes, node{ep: ep, rng: sim.NewRand(tcfg.Seed + uint64(x*31+y))})
+		}
+	}
+	pktProb := tcfg.Rate / float64(tcfg.PayloadFlits+2)
+	var injectedFlits, measuredInjected uint64
+	var measured []*noc.PacketMeta
+	measuring := false
+
+	inject := func() {
+		for _, n := range nodes {
+			if !n.rng.Bool(pktProb) {
+				continue
+			}
+			if n.ep.QueuedFlits() > tcfg.QueueCap {
+				continue
+			}
+			dst := tcfg.Pattern(n.ep.Addr(), n.rng, ncfg)
+			meta, err := n.ep.Send(dst, make([]uint16, tcfg.PayloadFlits))
+			if err != nil {
+				continue
+			}
+			injectedFlits += uint64(tcfg.PayloadFlits + 2)
+			if measuring {
+				measuredInjected += uint64(tcfg.PayloadFlits + 2)
+				measured = append(measured, meta)
+			}
+		}
+	}
+
+	for i := 0; i < tcfg.Warmup; i++ {
+		inject()
+		clk.Step()
+	}
+	measuring = true
+	startDelivered := deliveredFlits(net, nodes[0].ep)
+	for i := 0; i < tcfg.Measure; i++ {
+		inject()
+		clk.Step()
+	}
+	endDelivered := deliveredFlits(net, nodes[0].ep)
+	measuring = false
+	// Drain so measured packets complete.
+	for i := 0; i < tcfg.Drain; i++ {
+		clk.Step()
+	}
+
+	nNodes := float64(len(nodes))
+	res := Result{
+		Offered:         tcfg.Rate,
+		Accepted:        float64(measuredInjected) / float64(tcfg.Measure) / nNodes,
+		Delivered:       float64(endDelivered-startDelivered) / float64(tcfg.Measure) / nNodes,
+		Latency:         noc.Latencies(measured),
+		MeasuredPackets: len(measured),
+	}
+	return res, nil
+}
+
+// deliveredFlits approximates delivered flit volume from completed
+// packet metadata.
+func deliveredFlits(net *noc.Network, _ *noc.Endpoint) uint64 {
+	var t uint64
+	for _, m := range net.Completed() {
+		t += uint64(m.Len)
+	}
+	return t
+}
+
+// ProbeLatency measures one packet's network latency on an otherwise
+// idle mesh — the setting of the paper's minimal-latency formula.
+func ProbeLatency(ncfg noc.Config, src, dst noc.Addr, payload int) (uint64, error) {
+	clk := sim.NewClock()
+	net, err := noc.New(clk, ncfg)
+	if err != nil {
+		return 0, err
+	}
+	s, err := net.NewEndpoint(src)
+	if err != nil {
+		return 0, err
+	}
+	if _, err := net.NewEndpoint(dst); err != nil && src != dst {
+		return 0, err
+	}
+	meta, err := s.Send(dst, make([]uint16, payload))
+	if err != nil {
+		return 0, err
+	}
+	if err := clk.RunUntil(func() bool { return meta.EjectCycle != 0 }, 1_000_000); err != nil {
+		return 0, err
+	}
+	return meta.NetworkLatency(), nil
+}
+
+// PeakResult reports the five-connection router saturation experiment.
+type PeakResult struct {
+	// FlitsPerCycle is the centre router's aggregate forwarding rate.
+	FlitsPerCycle float64
+	// MeasuredGbps converts it at the configured flit width and clock.
+	MeasuredGbps float64
+	// TheoreticalGbps is the paper's 5-port peak (1 Gbit/s for
+	// MultiNoC's parameters).
+	TheoreticalGbps float64
+	// Efficiency is measured/theoretical.
+	Efficiency float64
+}
+
+// PeakThroughput drives all five ports of the centre router of a 3x3
+// mesh simultaneously (W->E, E->W, S->N, N->S and Local->Local) with
+// back-to-back maximum-size packets, reproducing the §2.1 claim that a
+// router peaks at 5 x flit/2-cycles (1 Gbit/s at 50 MHz, 8-bit flits).
+func PeakThroughput(ncfg noc.Config, packets int) (PeakResult, error) {
+	if ncfg.Width < 3 || ncfg.Height < 3 {
+		return PeakResult{}, fmt.Errorf("traffic: peak experiment needs a 3x3 mesh")
+	}
+	clk := sim.NewClock()
+	net, err := noc.New(clk, ncfg)
+	if err != nil {
+		return PeakResult{}, err
+	}
+	flows := [][2]noc.Addr{
+		{{X: 0, Y: 1}, {X: 2, Y: 1}}, // enters centre W, exits E
+		{{X: 2, Y: 1}, {X: 0, Y: 1}}, // E -> W
+		{{X: 1, Y: 0}, {X: 1, Y: 2}}, // S -> N
+		{{X: 1, Y: 2}, {X: 1, Y: 0}}, // N -> S
+		{{X: 1, Y: 1}, {X: 1, Y: 1}}, // Local -> Local
+	}
+	eps := map[noc.Addr]*noc.Endpoint{}
+	for _, f := range flows {
+		for _, a := range f {
+			if eps[a] == nil {
+				ep, err := net.NewEndpoint(a)
+				if err != nil {
+					return PeakResult{}, err
+				}
+				eps[a] = ep
+			}
+		}
+	}
+	payload := noc.MaxPayload(ncfg.FlitBits)
+	if payload > 255 {
+		payload = 255
+	}
+	want := uint64(len(flows) * packets)
+	for _, f := range flows {
+		for p := 0; p < packets; p++ {
+			if _, err := eps[f[0]].Send(f[1], make([]uint16, payload)); err != nil {
+				return PeakResult{}, err
+			}
+		}
+	}
+	// Warm the connections up, then measure the centre router over a
+	// window well inside the streaming phase.
+	centre := net.Router(noc.Addr{X: 1, Y: 1})
+	clk.Run(200)
+	startFlits := centre.Stats().TotalFlits()
+	startCycle := clk.Cycle()
+	if err := clk.RunUntil(func() bool { return net.Delivered() == want }, 100_000_000); err != nil {
+		return PeakResult{}, err
+	}
+	// Stop counting at the last delivery.
+	flits := centre.Stats().TotalFlits() - startFlits
+	cycles := clk.Cycle() - startCycle
+	rate := float64(flits) / float64(cycles)
+	res := PeakResult{
+		FlitsPerCycle:   rate,
+		MeasuredGbps:    rate * float64(ncfg.FlitBits) * ncfg.ClockMHz / 1000,
+		TheoreticalGbps: noc.RouterPeakGbps(ncfg),
+	}
+	res.Efficiency = res.MeasuredGbps / res.TheoreticalGbps
+	return res, nil
+}

@@ -1,0 +1,224 @@
+package traffic
+
+import (
+	"testing"
+
+	"repro/internal/noc"
+	"repro/internal/sim"
+)
+
+func TestPatterns(t *testing.T) {
+	cfg := noc.Defaults(4, 4)
+	r := sim.NewRand(1)
+	for x := 0; x < 4; x++ {
+		for y := 0; y < 4; y++ {
+			src := noc.Addr{X: x, Y: y}
+			for i := 0; i < 50; i++ {
+				if d := Uniform(src, r, cfg); d == src {
+					t.Fatal("uniform returned source")
+				}
+			}
+			if d := Transpose(src, r, cfg); d == src {
+				t.Errorf("transpose(%s) = source", src)
+			}
+			if d := BitComplement(src, r, cfg); d == src {
+				t.Errorf("bitcomplement(%s) = source", src)
+			}
+			hot := Hotspot(noc.Addr{X: 3, Y: 3}, 1.0)
+			if src != (noc.Addr{X: 3, Y: 3}) {
+				if d := hot(src, r, cfg); d != (noc.Addr{X: 3, Y: 3}) {
+					t.Errorf("hotspot(%s) = %s", src, d)
+				}
+			}
+		}
+	}
+}
+
+func TestTransposeIsInvolution(t *testing.T) {
+	cfg := noc.Defaults(5, 5)
+	r := sim.NewRand(2)
+	for x := 0; x < 5; x++ {
+		for y := 0; y < 5; y++ {
+			if x == y {
+				continue
+			}
+			src := noc.Addr{X: x, Y: y}
+			d := Transpose(src, r, cfg)
+			if Transpose(d, r, cfg) != src {
+				t.Errorf("transpose not involutive at %s", src)
+			}
+		}
+	}
+}
+
+func TestLowLoadLatencyNearFormula(t *testing.T) {
+	// At very light uniform load, mean latency must sit near the
+	// zero-load formula value for the mean hop count.
+	ncfg := noc.Defaults(4, 4)
+	res, err := Run(ncfg, Config{
+		Rate: 0.01, PayloadFlits: 8, Seed: 7,
+		Warmup: 2000, Measure: 10000, Drain: 5000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MeasuredPackets < 50 {
+		t.Fatalf("only %d packets measured", res.MeasuredPackets)
+	}
+	// 4x4 uniform mean hop count (routers, incl. endpoints) is ~3.67;
+	// formula latency for 10 flits ~ 14*3.67+20 ~ 71. Allow generous
+	// slack for occasional contention.
+	if res.Latency.MeanCycles < 40 || res.Latency.MeanCycles > 120 {
+		t.Errorf("mean latency %.1f outside sane low-load band", res.Latency.MeanCycles)
+	}
+}
+
+func TestThroughputSaturates(t *testing.T) {
+	// Offered load far beyond capacity must deliver less than offered
+	// (saturation), while tiny load delivers what is offered.
+	ncfg := noc.Defaults(4, 4)
+	low, err := Run(ncfg, Config{Rate: 0.02, PayloadFlits: 8, Seed: 3,
+		Warmup: 2000, Measure: 8000, Drain: 5000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if low.Delivered < low.Offered*0.8 {
+		t.Errorf("low load not delivered: offered %.3f delivered %.3f", low.Offered, low.Delivered)
+	}
+	high, err := Run(ncfg, Config{Rate: 0.45, PayloadFlits: 8, Seed: 3,
+		Warmup: 2000, Measure: 8000, Drain: 5000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if high.Delivered > high.Offered*0.9 {
+		t.Errorf("no saturation visible: offered %.3f delivered %.3f", high.Offered, high.Delivered)
+	}
+	// Past saturation the backlog piles up in the source queues, so the
+	// congestion signal is total latency (queueing + network).
+	if high.Latency.MeanTotalCycles < 2*low.Latency.MeanTotalCycles {
+		t.Errorf("saturated total latency %.1f not clearly above low-load %.1f",
+			high.Latency.MeanTotalCycles, low.Latency.MeanTotalCycles)
+	}
+}
+
+func TestProbeLatencyMatchesFormula(t *testing.T) {
+	ncfg := noc.Defaults(5, 5)
+	for _, tc := range []struct {
+		dst     noc.Addr
+		payload int
+	}{
+		{noc.Addr{X: 1, Y: 0}, 4},
+		{noc.Addr{X: 4, Y: 0}, 16},
+		{noc.Addr{X: 4, Y: 4}, 64},
+	} {
+		got, err := ProbeLatency(ncfg, noc.Addr{X: 0, Y: 0}, tc.dst, tc.payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := noc.FormulaLatency(ncfg, noc.HopCount(noc.Addr{}, tc.dst), tc.payload+2)
+		diff := int64(got) - int64(want)
+		if diff < -4 || diff > 4 {
+			t.Errorf("dst %s payload %d: measured %d, formula %d", tc.dst, tc.payload, got, want)
+		}
+	}
+}
+
+func TestPeakThroughputNearOneGbps(t *testing.T) {
+	// Experiment E2: five simultaneous connections through one router
+	// must approach the paper's 1 Gbit/s theoretical peak.
+	res, err := PeakThroughput(noc.Defaults(3, 3), 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TheoreticalGbps != 1.0 {
+		t.Errorf("theoretical peak = %.3f Gbit/s, want 1.0", res.TheoreticalGbps)
+	}
+	if res.Efficiency < 0.90 || res.Efficiency > 1.001 {
+		t.Errorf("efficiency %.3f outside [0.90, 1.0] (measured %.3f Gbit/s)",
+			res.Efficiency, res.MeasuredGbps)
+	}
+}
+
+// TestBufferDepthImprovesThroughput is experiment E3's assertion: the
+// paper says "larger buffers can provide enhanced NoC performance" —
+// under saturating load, each doubling of the input buffers raises the
+// delivered throughput (blocked flits hold fewer routers hostage).
+func TestBufferDepthImprovesThroughput(t *testing.T) {
+	depths := []int{1, 2, 4, 8, 16}
+	var delivered []float64
+	for _, depth := range depths {
+		ncfg := noc.Defaults(4, 4)
+		ncfg.BufDepth = depth
+		res, err := Run(ncfg, Config{Rate: 0.40, PayloadFlits: 8, Seed: 11,
+			Warmup: 3000, Measure: 10000, Drain: 30000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.MeasuredPackets < 100 {
+			t.Fatalf("depth %d: only %d packets", depth, res.MeasuredPackets)
+		}
+		delivered = append(delivered, res.Delivered)
+	}
+	for i := 1; i < len(depths); i++ {
+		if delivered[i] <= delivered[i-1] {
+			t.Errorf("depth %d delivered %.3f, not above depth %d's %.3f",
+				depths[i], delivered[i], depths[i-1], delivered[i-1])
+		}
+	}
+	if delivered[len(delivered)-1] < 1.5*delivered[0] {
+		t.Errorf("depth 16 (%.3f) not clearly above depth 1 (%.3f)",
+			delivered[len(delivered)-1], delivered[0])
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	if _, err := Run(noc.Defaults(2, 2), Config{Rate: 0.1}); err == nil {
+		t.Error("zero payload accepted")
+	}
+	if _, err := PeakThroughput(noc.Defaults(2, 2), 5); err == nil {
+		t.Error("2x2 peak experiment accepted")
+	}
+}
+
+func TestDeterministicResults(t *testing.T) {
+	run := func() Result {
+		r, err := Run(noc.Defaults(3, 3), Config{Rate: 0.1, PayloadFlits: 6, Seed: 99,
+			Warmup: 500, Measure: 2000, Drain: 3000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	a, b := run(), run()
+	if a.Accepted != b.Accepted || a.Latency.MeanCycles != b.Latency.MeanCycles ||
+		a.MeasuredPackets != b.MeasuredPackets {
+		t.Errorf("nondeterministic results: %+v vs %+v", a, b)
+	}
+}
+
+func TestHotspotCongestsWorseThanUniform(t *testing.T) {
+	// Concentrating 20% of traffic on one node must saturate earlier
+	// than uniform at the same offered rate (classic hotspot shape).
+	ncfg := noc.Defaults(4, 4)
+	common := Config{Rate: 0.18, PayloadFlits: 8, Seed: 9,
+		Warmup: 3000, Measure: 10000, Drain: 30000}
+	uni := common
+	uniRes, err := Run(ncfg, uni)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hot := common
+	hot.Pattern = Hotspot(noc.Addr{X: 1, Y: 1}, 0.2)
+	hotRes, err := Run(ncfg, hot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hotRes.Delivered >= uniRes.Delivered {
+		t.Errorf("hotspot delivered %.3f, uniform %.3f — expected hotspot to congest",
+			hotRes.Delivered, uniRes.Delivered)
+	}
+	if hotRes.Latency.MeanTotalCycles <= uniRes.Latency.MeanTotalCycles {
+		t.Errorf("hotspot total latency %.1f not above uniform %.1f",
+			hotRes.Latency.MeanTotalCycles, uniRes.Latency.MeanTotalCycles)
+	}
+}

@@ -1,0 +1,93 @@
+package vcd
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestHeaderAndChanges(t *testing.T) {
+	var sb strings.Builder
+	w := NewWriter(&sb)
+	clk := w.Signal("clk", 1)
+	bus := w.Signal("data", 8)
+	clk.Set(0)
+	bus.Set(0xAB)
+	if err := w.Begin(); err != nil {
+		t.Fatal(err)
+	}
+	clk.Set(1)
+	if err := w.Tick(1); err != nil {
+		t.Fatal(err)
+	}
+	clk.Set(0)
+	bus.Set(0x12)
+	if err := w.Tick(2); err != nil {
+		t.Fatal(err)
+	}
+	// No change: no timestamp.
+	if err := w.Tick(3); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"$timescale", "$var wire 1", "$var wire 8", "$enddefinitions",
+		"$dumpvars", "b10101011", "#1", "#2", "b10010", "clk", "data",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "#3") {
+		t.Error("timestamp emitted with no changes")
+	}
+}
+
+func TestValueMasking(t *testing.T) {
+	var sb strings.Builder
+	w := NewWriter(&sb)
+	s := w.Signal("nibble", 4)
+	s.Set(0xFF)
+	if err := w.Begin(); err != nil {
+		t.Fatal(err)
+	}
+	w.Flush()
+	if !strings.Contains(sb.String(), "b1111 ") {
+		t.Errorf("4-bit signal not masked:\n%s", sb.String())
+	}
+}
+
+func TestErrors(t *testing.T) {
+	var sb strings.Builder
+	w := NewWriter(&sb)
+	if err := w.Tick(0); err == nil {
+		t.Error("Tick before Begin accepted")
+	}
+	if err := w.Begin(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Begin(); err == nil {
+		t.Error("double Begin accepted")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Signal after Begin did not panic")
+		}
+	}()
+	w.Signal("late", 1)
+}
+
+func TestIDCodesUnique(t *testing.T) {
+	var sb strings.Builder
+	w := NewWriter(&sb)
+	seen := map[string]bool{}
+	for i := 0; i < 200; i++ {
+		s := w.Signal("s", 1)
+		if seen[s.id] {
+			t.Fatalf("duplicate id %q at %d", s.id, i)
+		}
+		seen[s.id] = true
+	}
+}
