@@ -282,6 +282,34 @@ func BenchmarkE12SeaOfProcessors(b *testing.B) {
 	}
 }
 
+// BenchmarkAblKernelSchedule compares the activity-scheduled simulation
+// kernel against the dense reference on a full 16x16-mesh traffic
+// experiment (warmup + measure + drain at 0.2% injection — the regime
+// the big-mesh experiments spend most of their time in). The reported
+// metric is simulated cycles per wall-clock second; both kernels
+// produce bit-identical Results (TestSparseKernelMatchesDense).
+func BenchmarkAblKernelSchedule(b *testing.B) {
+	const simCycles = 500 + 3000 // warmup + measure (drain adds a tail)
+	for _, tc := range []struct {
+		name  string
+		dense bool
+	}{{"activity", false}, {"dense", true}} {
+		b.Run(tc.name, func(b *testing.B) {
+			cfg := noc.Defaults(16, 16)
+			for i := 0; i < b.N; i++ {
+				if _, err := traffic.Run(cfg, traffic.Config{
+					Rate: 0.002, PayloadFlits: 8, Seed: 3,
+					Warmup: 500, Measure: 3000, Drain: 20000,
+					DenseKernel: tc.dense,
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(simCycles)*float64(b.N)/b.Elapsed().Seconds(), "simcycles/sec")
+		})
+	}
+}
+
 // BenchmarkAblRouting compares routing algorithms under transpose
 // traffic.
 func BenchmarkAblRouting(b *testing.B) {

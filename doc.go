@@ -5,6 +5,18 @@
 // compiler), the Memory and Serial IP cores, the host software, and a
 // cycle-accurate full-system simulator tying them together.
 //
+// The simulator runs on an activity-scheduled two-phase kernel
+// (internal/sim): components that report themselves idle — routers with
+// empty buffers, links with tx low, endpoints with drained queues,
+// halted processors, quiet UARTs — are skipped entirely and woken by
+// link activity, explicit wakes or timers, while preserving bit-exact
+// equivalence with dense evaluation (same seed, same results, either
+// kernel). Large meshes therefore simulate at a speed proportional to
+// how much hardware is actually switching, not how much is
+// instantiated, and drivers wait for quiescence
+// (sim.Clock.RunUntilQuiescent, core.System.DrainIO) instead of
+// stepping a guessed cycle count.
+//
 // See README.md for a tour, DESIGN.md for the system inventory and
 // experiment index, and EXPERIMENTS.md for paper-vs-measured results.
 // The benchmarks in bench_test.go regenerate every experiment; the

@@ -254,6 +254,19 @@ func (s *System) RunUntilHalted(maxCycles uint64, ids ...int) error {
 	}, maxCycles)
 }
 
+// DrainIO pumps the clock until every in-flight transfer — NoC flits,
+// memory-engine operations, serial frames, UART bits — has settled and
+// the whole system is asleep, bounded by maxCycles. It replaces the
+// "run a generous fixed cycle count and hope the printf frames made it"
+// idiom: with halted (or never-activated) processors the system reaches
+// quiescence the cycle the last bit lands. Processors still executing
+// keep the system non-quiescent, so callers should RunUntilHalted
+// first; a timeout still pumps the clock maxCycles, so output produced
+// within the budget is available to read even on error.
+func (s *System) DrainIO(maxCycles uint64) error {
+	return s.Clk.RunUntilQuiescent(maxCycles)
+}
+
 // ReadMemory reads n words from an IP's memory over the serial path
 // (Figure 9 step 1). tgt may be a processor or a remote memory.
 func (s *System) ReadMemory(tgt noc.Addr, addr uint16, n int) ([]uint16, error) {

@@ -172,8 +172,24 @@ func (d *Driver) Process(img Image, procs ...int) (Image, uint64, error) {
 			}
 		}
 		if !progressed {
-			// Let the kernels compute before polling again.
-			d.Sys.Clk.Run(200)
+			if d.T == Direct {
+				// The memory backdoor is free, so step exactly until a
+				// busy kernel posts its result instead of burning a
+				// fixed poll interval. A timeout just re-enters the
+				// outer loop, which has its own wedge guard.
+				_ = d.Sys.Clk.RunUntil(func() bool {
+					for _, id := range procs {
+						if state[id].busy && d.Sys.Proc(id).Banks().Read(FlagAddr) == FlagDone {
+							return true
+						}
+					}
+					return false
+				}, 1_000_000)
+			} else {
+				// Over the serial path each flag poll costs a full
+				// frame round trip; let the kernels compute in bulk.
+				d.Sys.Clk.Run(200)
+			}
 		}
 		if d.Sys.Clk.Cycle()-start > 500_000_000 {
 			return nil, 0, fmt.Errorf("edge: processing wedged")

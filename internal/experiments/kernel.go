@@ -1,0 +1,116 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/noc"
+	"repro/internal/sim"
+	"repro/internal/traffic"
+)
+
+// A6KernelSchedule validates the activity-scheduled simulation kernel
+// against the dense reference kernel and reports how much of the mesh
+// it actually evaluates. Everything printed here is deterministic; the
+// wall-clock speedup (which tracks the skipped-work column) is measured
+// by BenchmarkKernelActivity in internal/noc and BenchmarkAblKernelSchedule
+// at the repository root.
+func A6KernelSchedule(w io.Writer) error {
+	fmt.Fprintln(w, "The kernel keeps an active set: routers, links and endpoints sleep while idle")
+	fmt.Fprintln(w, "and are woken by link activity, so mostly-idle meshes cost almost nothing per")
+	fmt.Fprintln(w, "cycle. Both kernels must produce bit-identical experiments:")
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, "| mesh | rate | delivered (flits/cycle/node) | mean latency | dense == activity |")
+	fmt.Fprintln(w, "|---|---|---|---|---|")
+	for _, tc := range []struct {
+		w, h int
+		rate float64
+	}{
+		{8, 8, 0.02},
+		{16, 16, 0.02},
+		{16, 16, 0.10},
+	} {
+		cfg := noc.Defaults(tc.w, tc.h)
+		run := func(dense bool) (traffic.Result, error) {
+			return traffic.Run(cfg, traffic.Config{
+				Rate: tc.rate, PayloadFlits: 8, Seed: 7,
+				Warmup: 500, Measure: 3000, Drain: 20000,
+				DenseKernel: dense,
+			})
+		}
+		dres, err := run(true)
+		if err != nil {
+			return err
+		}
+		ares, err := run(false)
+		if err != nil {
+			return err
+		}
+		if dres != ares {
+			return fmt.Errorf("experiments: kernel results diverged on %dx%d rate %.2f", tc.w, tc.h, tc.rate)
+		}
+		fmt.Fprintf(w, "| %dx%d | %.2f | %.4f | %.1f | %v |\n",
+			tc.w, tc.h, tc.rate, ares.Delivered, ares.Latency.MeanCycles, dres == ares)
+	}
+
+	fmt.Fprintln(w, "\nShare of the 16x16 mesh (256 routers + 256 endpoints) the activity kernel")
+	fmt.Fprintln(w, "evaluates per cycle under uniform traffic — the dense kernel always runs all 512:")
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, "| rate (flits/cycle/node) | mean active components | evaluated |")
+	fmt.Fprintln(w, "|---|---|---|")
+	for _, rate := range []float64{0.10, 0.02, 0.01, 0.005, 0.002, 0} {
+		mean, total, err := meanActive(rate)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "| %.3f | %d / %d | %.0f%% |\n", rate, mean, total, 100*float64(mean)/float64(total))
+	}
+	fmt.Fprintln(w, "\nWormhole switching holds every router on a packet's path active while the")
+	fmt.Fprintln(w, "packet drains (14 cycles per hop), so the mesh saturates its *activity* well")
+	fmt.Fprintln(w, "below link saturation; the kernel's win is at the low rates — and in the idle")
+	fmt.Fprintln(w, "phases of full-system runs, where the NoC sleeps while processors compute.")
+	return nil
+}
+
+// meanActive drives a 16x16 mesh at the given rate and averages the
+// kernel's active-set size over the steady-state window.
+func meanActive(rate float64) (mean, total int, err error) {
+	ncfg := noc.Defaults(16, 16)
+	clk := sim.NewClock()
+	net, err := noc.New(clk, ncfg)
+	if err != nil {
+		return 0, 0, err
+	}
+	type node struct {
+		ep  *noc.Endpoint
+		rng *sim.Rand
+	}
+	var nodes []node
+	for x := 0; x < ncfg.Width; x++ {
+		for y := 0; y < ncfg.Height; y++ {
+			ep, err := net.NewEndpoint(noc.Addr{X: x, Y: y})
+			if err != nil {
+				return 0, 0, err
+			}
+			nodes = append(nodes, node{ep, sim.NewRand(uint64(x*31 + y))})
+		}
+	}
+	pktProb := rate / 10 // 8-flit payload + header + size
+	var sum, n uint64
+	for i := 0; i < 4000; i++ {
+		for _, nd := range nodes {
+			if nd.rng.Bool(pktProb) && nd.ep.QueuedFlits() < 64 {
+				dst := traffic.Uniform(nd.ep.Addr(), nd.rng, ncfg)
+				if _, err := nd.ep.Send(dst, make([]uint16, 8)); err != nil {
+					return 0, 0, err
+				}
+			}
+		}
+		clk.Step()
+		if i >= 1000 {
+			sum += uint64(clk.ActiveCount())
+			n++
+		}
+	}
+	return int(sum / n), clk.ComponentCount(), nil
+}

@@ -74,6 +74,10 @@ func New(clk *sim.Clock, toNoC, fromNoC *serial.Line, div int) *Host {
 			h.handle(m)
 		}
 	}
+	// A start bit from the Serial IP must wake the host out of idle
+	// sleep so the monitor receives frames sent while it has nothing to
+	// transmit.
+	sim.Watch(fromNoC, h)
 	clk.Register(h)
 	return h
 }
@@ -105,6 +109,9 @@ func (h *Host) sendFrame(tgt noc.Addr, m *noc.Message) {
 	}
 	h.FramesSent++
 	h.utx.Queue(bs...)
+	// Queueing happens outside Eval (the public helpers run between
+	// steps); wake the host so the transmitter starts on the next cycle.
+	h.clk.Wake(h)
 }
 
 // Name implements sim.Component.
@@ -119,12 +126,19 @@ func (h *Host) Eval() {
 // Commit implements sim.Component.
 func (h *Host) Commit() {}
 
+// Idle implements sim.Idler: the host sleeps when its transmitter has
+// drained and its receiver sits between frames with the line idle. It
+// is woken by sendFrame/Sync (new bytes queued) or by the watched rx
+// line (the Serial IP starting a frame).
+func (h *Host) Idle() bool { return h.utx.Idle() && h.urx.Idle() }
+
 // Sync transmits the 0x55 synchronization byte and waits until the
 // line has been idle long enough for the Serial IP to lock its baud
 // divisor (§4, "Synchronize SW/HW").
 func (h *Host) Sync() error {
 	h.utx.Gap = 4 * h.utx.Div()
 	h.utx.Queue(serial.SyncByte)
+	h.clk.Wake(h)
 	if err := h.drain(); err != nil {
 		return fmt.Errorf("host: sync: %w", err)
 	}

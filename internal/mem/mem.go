@@ -215,6 +215,7 @@ func NewIP(net *noc.Network, addr noc.Addr, words int) (*IP, error) {
 		_, err := ep.SendMessage(dst, m)
 		return err
 	})
+	ep.SetOwner(ip)
 	net.Clock().Register(ip)
 	return ip, nil
 }
@@ -246,3 +247,8 @@ func (ip *IP) Eval() {
 
 // Commit implements sim.Component.
 func (ip *IP) Commit() {}
+
+// Idle implements sim.Idler: a remote memory sleeps whenever its engine
+// has no operation in flight and no packet awaits dispatch. The
+// endpoint wakes it (via SetOwner) when a service packet completes.
+func (ip *IP) Idle() bool { return !ip.eng.Busy() && ip.ep.Pending() == 0 }

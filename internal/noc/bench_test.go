@@ -57,6 +57,87 @@ func BenchmarkLoadedMeshCycle(b *testing.B) {
 	}
 }
 
+// BenchmarkKernelActivity compares the activity-scheduled kernel with
+// the dense reference on a 16x16 mesh (256 routers + 256 endpoints)
+// across traffic levels. Each iteration is one simulated cycle, so
+// ns/op is the per-cycle cost; the cycles/sec metric is its inverse.
+// The activity kernel's advantage is largest on idle and low-injection
+// meshes, where most of the mesh sleeps.
+func BenchmarkKernelActivity(b *testing.B) {
+	loads := []struct {
+		name string
+		rate float64 // offered flits/cycle/node
+	}{
+		{"idle", 0},
+		{"inj0.2pct", 0.002},
+		{"inj0.5pct", 0.005},
+		{"inj1pct", 0.01},
+	}
+	kernels := []struct {
+		name  string
+		dense bool
+	}{
+		{"activity", false},
+		{"dense", true},
+	}
+	for _, load := range loads {
+		for _, k := range kernels {
+			b.Run(load.name+"/"+k.name, func(b *testing.B) {
+				cfg := Defaults(16, 16)
+				clk := sim.NewClock()
+				clk.SetActivityScheduling(!k.dense)
+				net, err := New(clk, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				type node struct {
+					ep  *Endpoint
+					rng *sim.Rand
+				}
+				var nodes []node
+				for x := 0; x < cfg.Width; x++ {
+					for y := 0; y < cfg.Height; y++ {
+						ep, err := net.NewEndpoint(Addr{x, y})
+						if err != nil {
+							b.Fatal(err)
+						}
+						nodes = append(nodes, node{ep, sim.NewRand(uint64(x*31 + y))})
+					}
+				}
+				pktProb := load.rate / 10 // 8-flit payload + header + size
+				cycle := func() {
+					if pktProb > 0 {
+						for _, n := range nodes {
+							if n.rng.Bool(pktProb) && n.ep.QueuedFlits() < 64 {
+								dst := Addr{n.rng.Intn(cfg.Width), n.rng.Intn(cfg.Height)}
+								if dst != n.ep.Addr() {
+									_, _ = n.ep.Send(dst, make([]uint16, 8))
+								}
+							}
+						}
+					}
+					clk.Step()
+					for _, n := range nodes {
+						for {
+							if _, ok := n.ep.Recv(); !ok {
+								break
+							}
+						}
+					}
+				}
+				for i := 0; i < 1000; i++ { // reach steady state untimed
+					cycle()
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					cycle()
+				}
+				b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "cycles/sec")
+			})
+		}
+	}
+}
+
 // BenchmarkServiceEncodeDecode measures the service codec.
 func BenchmarkServiceEncodeDecode(b *testing.B) {
 	m := &Message{Svc: SvcWriteMem, Src: Addr{1, 0}, Addr: 0x100, Words: make([]uint16, 32)}

@@ -1,6 +1,10 @@
 package noc
 
-import "fmt"
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
 
 // Endpoint is the Local-port adapter through which an IP core exchanges
 // packets with the NoC. It owns the injection queue (flattening packets
@@ -12,10 +16,11 @@ import "fmt"
 // Recv pops packets that completed on earlier cycles. One endpoint must
 // have exactly one owning component.
 type Endpoint struct {
-	net  *Network
-	addr Addr
-	snd  sender
-	rcv  receiver
+	net   *Network
+	addr  Addr
+	snd   sender
+	rcv   receiver
+	owner sim.Component // woken when a packet completes; may be nil
 
 	txq    []txFlit // committed outgoing flit stream
 	stSend []txFlit // staged by Send, moved to txq at Commit
@@ -41,6 +46,11 @@ type txFlit struct {
 // Addr reports the mesh address of the router this endpoint hangs off.
 func (e *Endpoint) Addr() Addr { return e.addr }
 
+// SetOwner names the component that consumes this endpoint's received
+// packets. The owner is woken whenever a packet completes reassembly,
+// which lets it implement sim.Idler and sleep between packets.
+func (e *Endpoint) SetOwner(c sim.Component) { e.owner = c }
+
 // Send stages a packet for injection. The payload length must not
 // exceed MaxPayload for the network's flit width.
 func (e *Endpoint) Send(dst Addr, payload []uint16) (*PacketMeta, error) {
@@ -54,6 +64,10 @@ func (e *Endpoint) Send(dst Addr, payload []uint16) (*PacketMeta, error) {
 	for i, fl := range flits {
 		e.stSend = append(e.stSend, txFlit{f: fl, header: i == 0, tail: i == len(flits)-1})
 	}
+	// A sleeping endpoint must join the current edge so the staged
+	// flits commit to the injection queue this cycle, exactly as they
+	// would under dense evaluation.
+	e.net.clk.Wake(e)
 	return meta, nil
 }
 
@@ -137,6 +151,19 @@ func (e *Endpoint) complete() {
 	e.stRxDone = append(e.stRxDone, Packet{Src: src, Dst: e.addr, Payload: payload, Meta: e.rxMeta})
 	e.rxPhase = phaseHeader
 	e.received++
+	e.net.clk.Wake(e.owner)
+}
+
+// Idle implements sim.Idler. An endpoint may sleep when its injection
+// queue is empty (committed and staged), both link handshakes are at
+// rest and no packet is mid-reassembly. It is woken by Send (staged
+// work), or by the rising tx of the link from its router (watched in
+// NewEndpoint). Completed packets waiting in rxDone do not keep it
+// awake: draining them is the owner's business, and the owner was woken
+// when they completed.
+func (e *Endpoint) Idle() bool {
+	return len(e.txq) == 0 && len(e.stSend) == 0 && !e.snd.busy &&
+		!e.rcv.ackHigh && !e.rcv.link.Tx.Get() && e.rxPhase == phaseHeader
 }
 
 // Commit implements sim.Component.

@@ -57,7 +57,10 @@ func (s *sender) eval(hasNext func() bool, peek func() Flit, accepted func()) {
 			s.link.Data.Set(peek())
 			s.link.Tx.Set(true)
 			s.nBusy = true
-		} else {
+		} else if s.link.Tx.Peek() {
+			// Deassert only on the transition; re-staging an already-low
+			// tx every cycle would keep the idle link on the kernel's
+			// dirty-wire list for nothing.
 			s.link.Tx.Set(false)
 		}
 	}
@@ -81,7 +84,9 @@ func (r *receiver) eval(hasSpace func() bool, take func(Flit)) {
 	if accept {
 		take(r.link.Data.Get())
 	}
-	r.link.Ack.Set(accept)
+	if accept != r.link.Ack.Peek() {
+		r.link.Ack.Set(accept)
+	}
 	r.nAckHigh = accept
 }
 

@@ -162,6 +162,7 @@ func (n *Network) NewEndpoint(a Addr) (*Endpoint, error) {
 		snd:  sender{link: toRouter},
 		rcv:  receiver{link: fromRouter},
 	}
+	sim.Watch(fromRouter.Tx, ep)
 	n.endpoints[a] = ep
 	n.clk.Register(ep)
 	return ep, nil
@@ -176,9 +177,13 @@ func (n *Network) Completed() []*PacketMeta { return n.completed }
 // Delivered reports how many packets have been fully delivered.
 func (n *Network) Delivered() uint64 { return n.delivered }
 
-// ResetStats clears the completed-packet log (router counters keep
-// accumulating; they are snapshots, not rates).
-func (n *Network) ResetStats() { n.completed = nil }
+// ResetStats clears the completed-packet log and the delivered counter,
+// so rates computed after a warmup reset start from zero (router
+// counters keep accumulating; they are snapshots, not rates).
+func (n *Network) ResetStats() {
+	n.completed = nil
+	n.delivered = 0
+}
 
 func (n *Network) allocMeta(src, dst Addr, payload int) *PacketMeta {
 	n.nextPktID++

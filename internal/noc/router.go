@@ -1,6 +1,10 @@
 package noc
 
-import "fmt"
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
 
 // PortNone marks an unconnected crossbar endpoint.
 const PortNone Port = -1
@@ -122,8 +126,12 @@ func (r *Router) Addr() Addr { return r.addr }
 // Stats returns a snapshot of the router's counters.
 func (r *Router) Stats() RouterStats { return r.stats }
 
-// connectIn attaches the upstream link arriving at port p.
-func (r *Router) connectIn(p Port, l *Link) { r.in[p].rcv.link = l }
+// connectIn attaches the upstream link arriving at port p. The router
+// watches the link's tx so an arriving flit wakes it from idle sleep.
+func (r *Router) connectIn(p Port, l *Link) {
+	r.in[p].rcv.link = l
+	sim.Watch(l.Tx, r)
+}
 
 // connectOut attaches the downstream link leaving port p.
 func (r *Router) connectOut(p Port, l *Link) { r.out[p].snd.link = l }
@@ -144,10 +152,16 @@ func (r *Router) Eval() {
 	}
 	r.ctl.nServing, r.ctl.nCountdown, r.ctl.nRR = r.ctl.serving, r.ctl.countdown, r.ctl.rr
 
-	// Input side: accept flits from upstream into the port buffers.
+	// Input side: accept flits from upstream into the port buffers. A
+	// port whose handshake is at rest (incoming tx low, ack low) is
+	// skipped: its eval would stage nothing, so the staged receiver
+	// state already equals the committed state.
 	for i := range r.in {
 		p := &r.in[i]
 		if p.rcv.link == nil {
+			continue
+		}
+		if !p.rcv.link.Tx.Get() && !p.rcv.ackHigh {
 			continue
 		}
 		p.rcv.eval(
@@ -160,8 +174,9 @@ func (r *Router) Eval() {
 	for i := range r.out {
 		o := &r.out[i]
 		if o.snd.link == nil || o.src == PortNone {
-			if o.snd.link != nil {
-				// Keep tx deasserted on idle connected links.
+			if o.snd.link != nil && (o.snd.busy || o.snd.link.Tx.Peek()) {
+				// Finish deasserting tx on a just-closed connection;
+				// fully idle senders are skipped.
 				o.snd.eval(func() bool { return false }, func() Flit { return Flit{} }, func() {})
 			}
 			continue
@@ -267,6 +282,36 @@ func (r *Router) evalControl() {
 	r.out[o].nSrc = p.port
 	r.stats.Grants++
 	r.stats.PacketsRouted++
+}
+
+// Idle implements sim.Idler. A router may sleep when every input port
+// is drained (empty buffer, no open wormhole connection, handshake at
+// rest, incoming tx low), every output port is disconnected with its
+// sender idle, and the control logic is not serving a request. In that
+// state Eval stages nothing and drives every wire at its rest value, so
+// skipping it is invisible; the router is woken by the rising tx of an
+// incoming link (watched in connectIn) — the only event that can make
+// it non-idle.
+func (r *Router) Idle() bool {
+	if r.ctl.serving >= 0 {
+		return false
+	}
+	for i := range r.in {
+		p := &r.in[i]
+		if p.buf.Len() > 0 || p.route != PortNone || p.phase != phaseHeader || p.rcv.ackHigh {
+			return false
+		}
+		if p.rcv.link != nil && p.rcv.link.Tx.Get() {
+			return false
+		}
+	}
+	for i := range r.out {
+		o := &r.out[i]
+		if o.src != PortNone || o.snd.busy {
+			return false
+		}
+	}
+	return true
 }
 
 // Commit implements sim.Component.

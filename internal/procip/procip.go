@@ -123,6 +123,7 @@ func New(net *noc.Network, cfg Config) (*IP, error) {
 		_, err := ep.SendMessage(dst, m)
 		return err
 	})
+	ep.SetOwner(ip)
 	net.Clock().Register(ip)
 	return ip, nil
 }
@@ -168,6 +169,17 @@ func (ip *IP) Eval() {
 
 // Commit implements sim.Component.
 func (ip *IP) Commit() {}
+
+// Idle implements sim.Idler: a Processor IP sleeps while not yet
+// activated or after HALT, provided its memory engine is drained and no
+// packet awaits dispatch. The endpoint wakes it (via SetOwner) when a
+// packet — activate, read, write, notify — arrives. A *running* core is
+// never idle, even when stalled on a remote access or a wait command:
+// the R8 gets its cycle every cycle, keeping CPI accounting and the
+// waitR8 retry timing identical to the dense kernel.
+func (ip *IP) Idle() bool {
+	return (!ip.active || ip.cpu.Halted()) && !ip.eng.Busy() && ip.ep.Pending() == 0
+}
 
 func (ip *IP) dispatch() {
 	for {

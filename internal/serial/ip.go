@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/noc"
+	"repro/internal/sim"
 )
 
 // auto-baud states.
@@ -50,6 +51,10 @@ func NewIP(net *noc.Network, addr noc.Addr, rxd, txd *Line) (*IP, error) {
 		abState: abWait,
 	}
 	ip.urx.Recv = ip.feed
+	ep.SetOwner(ip)
+	// A start bit on the host line must wake the IP out of idle sleep,
+	// both for auto-baud edge measurement and for frame reception.
+	sim.Watch(rxd, ip)
 	net.Clock().Register(ip)
 	return ip, nil
 }
@@ -169,3 +174,16 @@ func (ip *IP) tickAutobaud() {
 
 // Commit implements sim.Component.
 func (ip *IP) Commit() {}
+
+// Idle implements sim.Idler. The Serial IP sleeps when both UART
+// directions are at rest and no NoC packet awaits disassembly. During
+// auto-baud it may only sleep while still waiting for the sync byte's
+// start-bit edge (abWait); the measure and settle states count line
+// cycles and must run every cycle. Wake sources: the watched host line
+// (start bits) and the endpoint owner hook (NoC packets).
+func (ip *IP) Idle() bool {
+	if ip.abState != abDone && ip.abState != abWait {
+		return false
+	}
+	return ip.utx.Idle() && ip.urx.Idle() && ip.ep.Pending() == 0
+}

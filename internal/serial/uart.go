@@ -111,6 +111,11 @@ func NewRX(line *Line, div int) *RX { return &RX{line: line, div: div} }
 // SetDiv sets the divisor, typically from auto-baud measurement.
 func (r *RX) SetDiv(div int) { r.div = div }
 
+// Idle reports that the receiver is between frames with the line at
+// rest (idle high): Tick would be a no-op. The owning component may
+// sleep in this state if it watches the line for the next start bit.
+func (r *RX) Idle() bool { return r.state == 0 && r.line.Get() }
+
 // Div reports the current divisor (0 when undetected).
 func (r *RX) Div() int { return r.div }
 

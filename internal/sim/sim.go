@@ -1,6 +1,8 @@
 // Package sim provides the two-phase synchronous simulation kernel that
 // every hardware model in this repository runs on.
 //
+// # Two-phase semantics
+//
 // The kernel mirrors register-transfer-level semantics: a component reads
 // the *current* value of its input wires during Eval and computes its next
 // state; Commit then latches all next states at once, like a global clock
@@ -8,6 +10,60 @@
 // component's same-cycle output, simulation results are independent of
 // component registration order, making every run bit-for-bit
 // deterministic.
+//
+// # Activity scheduling
+//
+// Dense RTL simulation evaluates every component every cycle, which makes
+// large, mostly-idle systems (a 16x16 mesh with one packet in flight)
+// pay for hundreds of no-op Evals per cycle. The kernel therefore keeps
+// an *active set*: a component that additionally implements Idler is put
+// to sleep at the end of any cycle in which Idle() reports true, and is
+// skipped entirely — no Eval, no Commit — until something wakes it.
+//
+// A sleeping component may be woken three ways:
+//
+//   - Wire.Watch / sim.Watch — a clock edge that changes a watched
+//     wire's value wakes the watchers for the next cycle. This is how a
+//     router sleeping on empty buffers is woken by the rising tx of an
+//     incoming link: the upstream sender stages tx in cycle k, the edge
+//     latches it, and the watcher evaluates in cycle k+1 — exactly the
+//     cycle in which a dense simulation would first observe the new
+//     value. Wake-on-change therefore preserves bit-identical results.
+//   - Clock.Wake — an explicit wake, used when state is handed to a
+//     sleeping component outside the wire protocol (e.g. a packet
+//     staged on an endpoint's injection queue, or a received packet
+//     completing for the endpoint's owning IP). A Wake issued during
+//     the Eval phase joins the component to the *current* cycle: its
+//     Commit runs this edge, so state staged on it by the caller
+//     latches on the same edge it would have latched in a dense run.
+//     (Such a component may see Commit without a same-cycle Eval; that
+//     is safe by construction — a component asleep at Eval time had
+//     quiescent combinational outputs, so its skipped Eval was a
+//     no-op.) A Wake issued at any other time takes effect at the next
+//     Step.
+//   - Clock.WakeAt — a timer: the component is woken so that it is
+//     active during the step that ends at the given cycle count.
+//
+// A component may therefore report Idle() exactly when (a) its Eval
+// would stage no state change and drive no wire to a new value, and (b)
+// every event that could change that fact also wakes it (via a watched
+// wire, an explicit Wake from whoever hands it work, or a timer).
+// Components that never satisfy this — or that predate the protocol —
+// simply do not implement Idler and run every cycle, which is always
+// correct, only slower — and, since they never retire from the active
+// set, a domain containing one never reports Quiescent (quiescence
+// callers then run to their cycle budgets).
+//
+// Wires participate too: a wire only latches on edges following a Set
+// (its driver is asleep otherwise and the value holds by definition), so
+// idle links cost nothing.
+//
+// Determinism is unaffected by any of this: the active set only ever
+// skips Evals that stage nothing and Commits that latch nothing, wakes
+// are applied at deterministic points of the cycle, and iteration stays
+// in registration order. The same seed yields bit-identical results
+// with activity scheduling on or off; SetActivityScheduling(false)
+// restores the dense reference behaviour for differential testing.
 package sim
 
 import (
@@ -29,15 +85,52 @@ type Component interface {
 	Commit()
 }
 
+// Idler is optionally implemented by components that can sleep. Idle is
+// consulted after every clock edge; a true result removes the component
+// from the active set until a watched wire changes, Clock.Wake is
+// called, or a Clock.WakeAt timer fires. See the package comment for
+// the exact contract.
+type Idler interface {
+	Component
+	// Idle reports whether the component's Eval would currently be a
+	// no-op: no staged work, no pending input, all driven wires at
+	// their rest values.
+	Idle() bool
+}
+
 // latcher is the internal interface wires implement so the clock can
 // latch them after all components commit.
 type latcher interface{ latch() }
+
+// wakeTimer is one pending WakeAt request.
+type wakeTimer struct {
+	cycle uint64
+	idx   int
+}
 
 // Clock drives a set of components and wires with a shared synchronous
 // clock. The zero value is ready to use.
 type Clock struct {
 	comps  []Component
-	wires  []latcher
+	idlers []Idler // parallel to comps; nil entries never sleep
+	active []bool  // parallel to comps: membership in activeList
+	index  map[Component]int
+
+	// activeList holds the indices of awake components in arbitrary
+	// order (swap-removed on sleep), so Step costs O(active), not
+	// O(registered). Order-independence of the two-phase protocol makes
+	// the arbitrary order harmless.
+	activeList []int
+	inEval     bool
+	dense      bool // activity scheduling disabled: evaluate everything
+
+	wakePending []bool // parallel to comps; dedups pending
+	pending     []int
+	timers      []wakeTimer // min-heap on cycle
+
+	dirty    []latcher // wires with a staged Set awaiting this edge
+	allWires []latcher // every wire, latched unconditionally in dense mode
+
 	cycle  uint64
 	probes []func(cycle uint64)
 }
@@ -46,21 +139,28 @@ type Clock struct {
 func NewClock() *Clock { return &Clock{} }
 
 // Register adds components to the clock domain. Registering the same
-// component twice double-clocks it; callers must not do that.
+// component twice double-clocks it; callers must not do that. Newly
+// registered components start active.
 func (c *Clock) Register(comps ...Component) {
-	c.comps = append(c.comps, comps...)
-}
-
-// Attach adds wires to the clock domain so their staged values latch on
-// every cycle boundary. Wires created through NewWire on a clock are
-// attached automatically.
-func (c *Clock) Attach(wires ...latcher) {
-	c.wires = append(c.wires, wires...)
+	if c.index == nil {
+		c.index = make(map[Component]int)
+	}
+	for _, comp := range comps {
+		i := len(c.comps)
+		c.index[comp] = i
+		c.comps = append(c.comps, comp)
+		id, _ := comp.(Idler)
+		c.idlers = append(c.idlers, id)
+		c.active = append(c.active, true)
+		c.wakePending = append(c.wakePending, false)
+		c.activeList = append(c.activeList, i)
+	}
 }
 
 // Probe registers a function invoked after every cycle commits, with the
 // just-completed cycle number. Probes observe post-edge state; they are
-// the hook used for waveform tracing and statistics.
+// the hook used for waveform tracing and statistics. Probes run every
+// cycle regardless of activity.
 func (c *Clock) Probe(fn func(cycle uint64)) {
 	c.probes = append(c.probes, fn)
 }
@@ -68,20 +168,188 @@ func (c *Clock) Probe(fn func(cycle uint64)) {
 // Cycle reports how many clock cycles have elapsed.
 func (c *Clock) Cycle() uint64 { return c.cycle }
 
-// Step advances the simulation by exactly one clock cycle.
+// ComponentCount reports how many components are registered.
+func (c *Clock) ComponentCount() int { return len(c.comps) }
+
+// ActiveCount reports how many components will be evaluated next cycle
+// (pending wakes not yet applied). With activity scheduling disabled it
+// is the total component count.
+func (c *Clock) ActiveCount() int {
+	if c.dense {
+		return len(c.comps)
+	}
+	return len(c.activeList)
+}
+
+// SetActivityScheduling enables (the default) or disables the active-set
+// optimization. Disabling it evaluates every component every cycle — the
+// dense reference kernel, useful for differential testing and
+// benchmarking. Both modes produce bit-identical simulations.
+func (c *Clock) SetActivityScheduling(on bool) {
+	c.dense = !on
+	// Reset the active set to everything: correct for entering dense
+	// mode, and the safe starting point when re-entering sparse mode
+	// (idle components retire again on the next edges).
+	c.activeList = c.activeList[:0]
+	for i := range c.active {
+		c.active[i] = true
+		c.activeList = append(c.activeList, i)
+	}
+}
+
+// Wake puts comp back into the active set. Called during the Eval phase
+// it joins the current cycle (its Commit runs on this edge); called at
+// any other time — from a wire watcher, a probe, or code outside Step —
+// it takes effect at the next Step. Waking an active, nil, or unknown
+// component is a no-op, so callers need not track sleep state.
+func (c *Clock) Wake(comp Component) {
+	if c.dense || comp == nil {
+		return
+	}
+	i, ok := c.index[comp]
+	if !ok {
+		return
+	}
+	if c.inEval {
+		c.activate(i)
+		return
+	}
+	if !c.wakePending[i] {
+		c.wakePending[i] = true
+		c.pending = append(c.pending, i)
+	}
+}
+
+// WakeAt schedules comp to be active during the step that ends at the
+// given cycle count (i.e. it evaluates the transition to that cycle). A
+// cycle not in the future degenerates to Wake at the next Step.
+func (c *Clock) WakeAt(cycle uint64, comp Component) {
+	if c.dense || comp == nil {
+		return
+	}
+	i, ok := c.index[comp]
+	if !ok {
+		return
+	}
+	if cycle <= c.cycle+1 {
+		c.Wake(comp)
+		return
+	}
+	// Push onto the min-heap.
+	c.timers = append(c.timers, wakeTimer{cycle: cycle, idx: i})
+	for j := len(c.timers) - 1; j > 0; {
+		parent := (j - 1) / 2
+		if c.timers[parent].cycle <= c.timers[j].cycle {
+			break
+		}
+		c.timers[parent], c.timers[j] = c.timers[j], c.timers[parent]
+		j = parent
+	}
+}
+
+func (c *Clock) activate(i int) {
+	if !c.active[i] {
+		c.active[i] = true
+		c.activeList = append(c.activeList, i)
+	}
+}
+
+// applyWakes moves pending and due timer wakes into the active set. It
+// runs at the top of Step, so a wake staged in cycle k activates its
+// component for cycle k+1.
+func (c *Clock) applyWakes() {
+	next := c.cycle + 1
+	for len(c.timers) > 0 && c.timers[0].cycle <= next {
+		c.activate(c.timers[0].idx)
+		// Pop the heap root.
+		last := len(c.timers) - 1
+		c.timers[0] = c.timers[last]
+		c.timers = c.timers[:last]
+		for j := 0; ; {
+			l, r := 2*j+1, 2*j+2
+			small := j
+			if l < last && c.timers[l].cycle < c.timers[small].cycle {
+				small = l
+			}
+			if r < last && c.timers[r].cycle < c.timers[small].cycle {
+				small = r
+			}
+			if small == j {
+				break
+			}
+			c.timers[small], c.timers[j] = c.timers[j], c.timers[small]
+			j = small
+		}
+	}
+	if len(c.pending) > 0 {
+		for _, i := range c.pending {
+			c.wakePending[i] = false
+			c.activate(i)
+		}
+		c.pending = c.pending[:0]
+	}
+}
+
+// Step advances the simulation by exactly one clock cycle: wake, Eval
+// the active set, Commit it, latch staged wires, then retire idle
+// components.
 func (c *Clock) Step() {
-	for _, comp := range c.comps {
-		comp.Eval()
+	if c.dense {
+		for _, comp := range c.comps {
+			comp.Eval()
+		}
+		for _, comp := range c.comps {
+			comp.Commit()
+		}
+		// The dense reference latches every wire every cycle, exactly
+		// like the original kernel; latch also resets the dirty marks,
+		// so the list only needs truncating.
+		for _, w := range c.allWires {
+			w.latch()
+		}
+		c.dirty = c.dirty[:0]
+		c.cycle++
+		for _, p := range c.probes {
+			p(c.cycle)
+		}
+		return
 	}
-	for _, comp := range c.comps {
-		comp.Commit()
+	c.applyWakes()
+	// Explicit index loops: a Wake during the Eval phase appends to
+	// activeList, and the appended component must still be visited —
+	// its Eval is a no-op (it was asleep, so its inputs are quiescent)
+	// but its Commit latches whatever the waker staged on it, exactly
+	// as in a dense run.
+	c.inEval = true
+	for k := 0; k < len(c.activeList); k++ {
+		c.comps[c.activeList[k]].Eval()
 	}
-	for _, w := range c.wires {
-		w.latch()
+	c.inEval = false
+	for k := 0; k < len(c.activeList); k++ {
+		c.comps[c.activeList[k]].Commit()
+	}
+	// Only wires whose driver staged a value this cycle need latching;
+	// watchers of wires whose latched value changes are woken here.
+	if len(c.dirty) > 0 {
+		for _, w := range c.dirty {
+			w.latch()
+		}
+		c.dirty = c.dirty[:0]
 	}
 	c.cycle++
 	for _, p := range c.probes {
 		p(c.cycle)
+	}
+	for k := 0; k < len(c.activeList); {
+		i := c.activeList[k]
+		if id := c.idlers[i]; id != nil && id.Idle() {
+			c.active[i] = false
+			last := len(c.activeList) - 1
+			c.activeList[k] = c.activeList[last]
+			c.activeList = c.activeList[:last]
+		} else {
+			k++
+		}
 	}
 }
 
@@ -92,8 +360,8 @@ func (c *Clock) Run(n uint64) {
 	}
 }
 
-// ErrTimeout reports that RunUntil exhausted its cycle budget before the
-// predicate became true.
+// ErrTimeout reports that RunUntil or RunUntilQuiescent exhausted its
+// cycle budget before the stop condition became true.
 var ErrTimeout = errors.New("sim: watchdog timeout")
 
 // RunUntil steps the clock until pred returns true, or fails with
@@ -107,4 +375,47 @@ func (c *Clock) RunUntil(pred func() bool, maxCycles uint64) error {
 		}
 	}
 	return fmt.Errorf("%w after %d cycles", ErrTimeout, maxCycles)
+}
+
+// Quiescent reports whether the simulation can make no further progress
+// on its own: every component is asleep (or reports Idle, in dense
+// mode), no wakes are pending, no timers are armed and no wire has a
+// staged value awaiting an edge. External stimulus — a Send on an
+// endpoint, bytes queued on a UART — ends quiescence.
+//
+// A component that does not implement Idler never leaves the active
+// set, so a domain containing one can never report quiescence (its
+// simulation stays correct; only Quiescent/RunUntilQuiescent are
+// unavailable and callers fall back to their cycle budgets).
+func (c *Clock) Quiescent() bool {
+	if len(c.dirty) > 0 {
+		return false
+	}
+	if c.dense {
+		for _, id := range c.idlers {
+			if id == nil || !id.Idle() {
+				return false
+			}
+		}
+		return true
+	}
+	return len(c.activeList) == 0 && len(c.pending) == 0 && len(c.timers) == 0
+}
+
+// RunUntilQuiescent steps the clock until the simulation is quiescent —
+// all in-flight activity has drained — or fails with ErrTimeout after
+// maxCycles. It replaces the "run a generous fixed cycle count and hope
+// everything drained" idiom: drivers stop exactly when the hardware
+// does, without polling a predicate every cycle.
+func (c *Clock) RunUntilQuiescent(maxCycles uint64) error {
+	for i := uint64(0); i < maxCycles; i++ {
+		if c.Quiescent() {
+			return nil
+		}
+		c.Step()
+	}
+	if c.Quiescent() {
+		return nil
+	}
+	return fmt.Errorf("%w: not quiescent after %d cycles", ErrTimeout, maxCycles)
 }

@@ -74,6 +74,12 @@ type Config struct {
 	// QueueCap skips injection at a node whose endpoint queue already
 	// holds this many flits (source-queue backpressure). 0 means 64.
 	QueueCap int
+	// DenseKernel disables the kernel's activity scheduling for this
+	// run, evaluating every component every cycle. The results are
+	// bit-identical either way (see TestSparseKernelMatchesDense); the
+	// dense kernel exists as the reference for differential tests and
+	// speedup benchmarks.
+	DenseKernel bool
 }
 
 // Result reports a load experiment.
@@ -100,10 +106,14 @@ func Run(ncfg noc.Config, tcfg Config) (Result, error) {
 	if tcfg.QueueCap == 0 {
 		tcfg.QueueCap = 64
 	}
+	if tcfg.Drain < 0 {
+		tcfg.Drain = 0 // a negative drain ran zero cycles before the uint64 budget
+	}
 	if tcfg.PayloadFlits <= 0 {
 		return Result{}, fmt.Errorf("traffic: payload must be positive")
 	}
 	clk := sim.NewClock()
+	clk.SetActivityScheduling(!tcfg.DenseKernel)
 	net, err := noc.New(clk, ncfg)
 	if err != nil {
 		return Result{}, err
@@ -160,10 +170,12 @@ func Run(ncfg noc.Config, tcfg Config) (Result, error) {
 	}
 	endDelivered := deliveredFlits(net, nodes[0].ep)
 	measuring = false
-	// Drain so measured packets complete.
-	for i := 0; i < tcfg.Drain; i++ {
-		clk.Step()
-	}
+	// Drain so measured packets complete. Quiescence means every
+	// in-flight flit has been delivered and the mesh is back to sleep,
+	// so this stops as soon as the drain is actually done; the Drain
+	// budget only bounds it (a timeout leaves late packets unmeasured,
+	// exactly as the old fixed-length drain did).
+	_ = clk.RunUntilQuiescent(uint64(tcfg.Drain))
 
 	nNodes := float64(len(nodes))
 	res := Result{
@@ -205,8 +217,13 @@ func ProbeLatency(ncfg noc.Config, src, dst noc.Addr, payload int) (uint64, erro
 	if err != nil {
 		return 0, err
 	}
-	if err := clk.RunUntil(func() bool { return meta.EjectCycle != 0 }, 1_000_000); err != nil {
+	// The mesh quiesces a handful of cycles after the tail flit ejects,
+	// so running to quiescence replaces the per-cycle delivery poll.
+	if err := clk.RunUntilQuiescent(1_000_000); err != nil {
 		return 0, err
+	}
+	if meta.EjectCycle == 0 {
+		return 0, fmt.Errorf("traffic: network quiescent but packet %d undelivered", meta.ID)
 	}
 	return meta.NetworkLatency(), nil
 }

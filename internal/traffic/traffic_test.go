@@ -222,3 +222,172 @@ func TestHotspotCongestsWorseThanUniform(t *testing.T) {
 			hotRes.Latency.MeanTotalCycles, uniRes.Latency.MeanTotalCycles)
 	}
 }
+
+// TestRunDeterminism: two identically-seeded experiments must produce
+// identical Results, bit for bit — the kernel's determinism contract
+// survives activity scheduling.
+func TestRunDeterminism(t *testing.T) {
+	cfg := noc.Defaults(8, 8)
+	tcfg := Config{
+		Rate: 0.05, PayloadFlits: 8, Seed: 99,
+		Warmup: 500, Measure: 3000, Drain: 20000,
+	}
+	a, err := Run(cfg, tcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg, tcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("same-seed results differ:\n  %+v\n  %+v", a, b)
+	}
+}
+
+// TestSparseKernelMatchesDense: the activity-scheduled kernel must be
+// indistinguishable from dense evaluation — same delivered counts, same
+// latency distribution — across loads from near-idle to saturation.
+func TestSparseKernelMatchesDense(t *testing.T) {
+	for _, rate := range []float64{0.002, 0.05, 0.40} {
+		cfg := noc.Defaults(6, 6)
+		tcfg := Config{
+			Rate: rate, PayloadFlits: 8, Seed: 42,
+			Warmup: 500, Measure: 3000, Drain: 30000,
+		}
+		tcfg.DenseKernel = false
+		sparse, err := Run(cfg, tcfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tcfg.DenseKernel = true
+		dense, err := Run(cfg, tcfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sparse != dense {
+			t.Fatalf("rate %.3f: kernels diverge:\n  sparse %+v\n  dense  %+v", rate, sparse, dense)
+		}
+		if sparse.MeasuredPackets == 0 {
+			t.Fatalf("rate %.3f: experiment measured no packets", rate)
+		}
+	}
+}
+
+// TestQuiescentMatchesDenseRunUntil: draining a mesh with
+// RunUntilQuiescent on the activity kernel delivers exactly the packets
+// (and per-packet latencies) that the dense kernel's predicate-polling
+// RunUntil delivers.
+func TestQuiescentMatchesDenseRunUntil(t *testing.T) {
+	const packets = 40
+	run := func(dense bool) (uint64, []uint64) {
+		cfg := noc.Defaults(4, 4)
+		clk := sim.NewClock()
+		clk.SetActivityScheduling(!dense)
+		net, err := noc.New(clk, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var eps []*noc.Endpoint
+		for x := 0; x < 4; x++ {
+			for y := 0; y < 4; y++ {
+				ep, err := net.NewEndpoint(noc.Addr{X: x, Y: y})
+				if err != nil {
+					t.Fatal(err)
+				}
+				eps = append(eps, ep)
+			}
+		}
+		rng := sim.NewRand(7)
+		var metas []*noc.PacketMeta
+		for i := 0; i < packets; i++ {
+			src := eps[rng.Intn(len(eps))]
+			dst := noc.Addr{X: rng.Intn(4), Y: rng.Intn(4)}
+			if dst == src.Addr() {
+				continue
+			}
+			m, err := src.Send(dst, make([]uint16, 6))
+			if err != nil {
+				t.Fatal(err)
+			}
+			metas = append(metas, m)
+			clk.Run(uint64(rng.Intn(30)))
+		}
+		if dense {
+			want := uint64(len(metas))
+			if err := clk.RunUntil(func() bool { return net.Delivered() == want }, 1_000_000); err != nil {
+				t.Fatal(err)
+			}
+		} else {
+			if err := clk.RunUntilQuiescent(1_000_000); err != nil {
+				t.Fatal(err)
+			}
+		}
+		var lats []uint64
+		for _, m := range metas {
+			if m.EjectCycle == 0 {
+				t.Fatalf("dense=%v: packet %d undelivered", dense, m.ID)
+			}
+			lats = append(lats, m.NetworkLatency())
+		}
+		return net.Delivered(), lats
+	}
+	dDel, dLats := run(true)
+	sDel, sLats := run(false)
+	if dDel != sDel {
+		t.Fatalf("delivered: dense %d, quiescent %d", dDel, sDel)
+	}
+	for i := range dLats {
+		if dLats[i] != sLats[i] {
+			t.Fatalf("packet %d latency: dense %d, quiescent %d", i, dLats[i], sLats[i])
+		}
+	}
+}
+
+// TestResetStatsClearsDelivered: ResetStats after a warmup must zero
+// both the completed log and the delivered counter, so post-reset rates
+// are not skewed by warmup deliveries.
+func TestResetStatsClearsDelivered(t *testing.T) {
+	cfg := noc.Defaults(3, 3)
+	clk := sim.NewClock()
+	net, err := noc.New(clk, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := net.NewEndpoint(noc.Addr{X: 0, Y: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := net.NewEndpoint(noc.Addr{X: 2, Y: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := src.Send(noc.Addr{X: 2, Y: 2}, make([]uint16, 4)); err != nil {
+		t.Fatal(err)
+	}
+	if err := clk.RunUntilQuiescent(100_000); err != nil {
+		t.Fatal(err)
+	}
+	if net.Delivered() != 1 || len(net.Completed()) != 1 {
+		t.Fatalf("warmup: delivered %d, completed %d", net.Delivered(), len(net.Completed()))
+	}
+	net.ResetStats()
+	if net.Delivered() != 0 || len(net.Completed()) != 0 {
+		t.Fatalf("after ResetStats: delivered %d, completed %d", net.Delivered(), len(net.Completed()))
+	}
+}
+
+// TestNegativeDrainRunsZeroDrainCycles: a negative Drain must behave
+// like the pre-quiescence harness (zero drain cycles), not wrap into an
+// unbounded uint64 budget.
+func TestNegativeDrainRunsZeroDrainCycles(t *testing.T) {
+	res, err := Run(noc.Defaults(3, 3), Config{
+		Rate: 0.30, PayloadFlits: 8, Seed: 1,
+		Warmup: 100, Measure: 500, Drain: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MeasuredPackets == 0 {
+		t.Fatal("no packets measured")
+	}
+}
