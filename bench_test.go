@@ -20,6 +20,7 @@ import (
 // BenchmarkE1LatencyFormula times a single-packet latency probe and
 // reports the measured network latency next to the paper's model.
 func BenchmarkE1LatencyFormula(b *testing.B) {
+	b.ReportAllocs()
 	cfg := noc.Defaults(8, 8)
 	src, dst := noc.Addr{X: 0, Y: 0}, noc.Addr{X: 7, Y: 0}
 	var last uint64
@@ -36,6 +37,7 @@ func BenchmarkE1LatencyFormula(b *testing.B) {
 
 // BenchmarkE2PeakThroughput drives the five-connection router peak.
 func BenchmarkE2PeakThroughput(b *testing.B) {
+	b.ReportAllocs()
 	var res traffic.PeakResult
 	for i := 0; i < b.N; i++ {
 		r, err := traffic.PeakThroughput(noc.Defaults(3, 3), 20)
@@ -50,8 +52,10 @@ func BenchmarkE2PeakThroughput(b *testing.B) {
 
 // BenchmarkE3BufferDepth sweeps input buffer depth under saturation.
 func BenchmarkE3BufferDepth(b *testing.B) {
+	b.ReportAllocs()
 	for _, depth := range []int{1, 2, 4, 8, 16} {
 		b.Run(fmt.Sprintf("depth%d", depth), func(b *testing.B) {
+			b.ReportAllocs()
 			cfg := noc.Defaults(4, 4)
 			cfg.BufDepth = depth
 			var delivered float64
@@ -72,6 +76,7 @@ func BenchmarkE3BufferDepth(b *testing.B) {
 
 // BenchmarkE6Floorplan anneals the Figure 7 instance.
 func BenchmarkE6Floorplan(b *testing.B) {
+	b.ReportAllocs()
 	p := floorplan.MultiNoC()
 	var cost float64
 	for i := 0; i < b.N; i++ {
@@ -87,6 +92,7 @@ func BenchmarkE6Floorplan(b *testing.B) {
 // BenchmarkE7SerialLink measures a host write+read round trip over the
 // bit-level RS-232 model.
 func BenchmarkE7SerialLink(b *testing.B) {
+	b.ReportAllocs()
 	var cycles uint64
 	for i := 0; i < b.N; i++ {
 		sys, err := core.New(core.Default())
@@ -112,6 +118,7 @@ func BenchmarkE7SerialLink(b *testing.B) {
 // BenchmarkE8EdgeDetect runs the Figure 10 application with one and
 // two processors.
 func BenchmarkE8EdgeDetect(b *testing.B) {
+	b.ReportAllocs()
 	img := edge.NewImage(16, 10)
 	r := sim.NewRand(5)
 	for y := range img {
@@ -121,6 +128,7 @@ func BenchmarkE8EdgeDetect(b *testing.B) {
 	}
 	for _, n := range []int{1, 2} {
 		b.Run(fmt.Sprintf("%dproc", n), func(b *testing.B) {
+			b.ReportAllocs()
 			var cycles uint64
 			for i := 0; i < b.N; i++ {
 				sys, err := core.New(core.Default())
@@ -148,6 +156,7 @@ func BenchmarkE8EdgeDetect(b *testing.B) {
 
 // BenchmarkE9WaitNotify measures the synchronization round trip.
 func BenchmarkE9WaitNotify(b *testing.B) {
+	b.ReportAllocs()
 	const rounds = 20
 	var perRound float64
 	for i := 0; i < b.N; i++ {
@@ -204,6 +213,7 @@ func BenchmarkE9WaitNotify(b *testing.B) {
 // BenchmarkE11CPI measures simulated instruction throughput of the
 // cycle-accurate core and reports its CPI.
 func BenchmarkE11CPI(b *testing.B) {
+	b.ReportAllocs()
 	bus := &benchRAM{}
 	add, _ := r8.Inst{Op: r8.ADD, Rt: 1, Rs1: 2, Rs2: 3}.Encode()
 	jmp, _ := r8.Inst{Op: r8.JMP, Disp: -128}.Encode()
@@ -226,9 +236,11 @@ func (r *benchRAM) Write(a, v uint16) bool       { r.m[a%4096] = v; return true 
 
 // BenchmarkE12SeaOfProcessors scales the parallel reduction.
 func BenchmarkE12SeaOfProcessors(b *testing.B) {
+	b.ReportAllocs()
 	const totalWork = 840
 	for _, n := range []int{1, 2, 4, 7, 14} {
 		b.Run(fmt.Sprintf("%dprocs", n), func(b *testing.B) {
+			b.ReportAllocs()
 			var cycles uint64
 			for i := 0; i < b.N; i++ {
 				cfg, err := core.Scaled(4, 4, 14, 1)
@@ -282,25 +294,33 @@ func BenchmarkE12SeaOfProcessors(b *testing.B) {
 	}
 }
 
-// BenchmarkAblKernelSchedule compares the activity-scheduled simulation
-// kernel against the dense reference on a full 16x16-mesh traffic
-// experiment (warmup + measure + drain at 0.2% injection — the regime
-// the big-mesh experiments spend most of their time in). The reported
-// metric is simulated cycles per wall-clock second; both kernels
-// produce bit-identical Results (TestSparseKernelMatchesDense).
+// BenchmarkAblKernelSchedule compares the three kernel configurations
+// on a full 16x16-mesh traffic experiment (warmup + measure + drain at
+// 0.2% injection — the regime the big-mesh experiments spend most of
+// their time in): activity scheduling with time warping (the default),
+// activity scheduling stepping every cycle, and the dense reference.
+// The reported metric is simulated cycles per wall-clock second; all
+// three produce bit-identical Results (TestSparseKernelMatchesDense,
+// TestTimeWarpMatchesNoWarp).
 func BenchmarkAblKernelSchedule(b *testing.B) {
+	b.ReportAllocs()
 	const simCycles = 500 + 3000 // warmup + measure (drain adds a tail)
 	for _, tc := range []struct {
-		name  string
-		dense bool
-	}{{"activity", false}, {"dense", true}} {
+		name          string
+		dense, noWarp bool
+	}{
+		{"activity", false, false},
+		{"activity-nowarp", false, true},
+		{"dense", true, true},
+	} {
 		b.Run(tc.name, func(b *testing.B) {
+			b.ReportAllocs()
 			cfg := noc.Defaults(16, 16)
 			for i := 0; i < b.N; i++ {
 				if _, err := traffic.Run(cfg, traffic.Config{
 					Rate: 0.002, PayloadFlits: 8, Seed: 3,
 					Warmup: 500, Measure: 3000, Drain: 20000,
-					DenseKernel: tc.dense,
+					DenseKernel: tc.dense, NoTimeWarp: tc.noWarp,
 				}); err != nil {
 					b.Fatal(err)
 				}
@@ -310,15 +330,71 @@ func BenchmarkAblKernelSchedule(b *testing.B) {
 	}
 }
 
+// BenchmarkAblTimeWarp measures the time-warp kernel on the workload it
+// targets: the E7 host round trip (auto-baud boot, a 16-word memory
+// write and a 16-word read back over the bit-level RS-232 path), where
+// nearly every simulated cycle is a dead cycle inside a UART bit. Two
+// serial rates are swept: div16 is the simulation-compressed default,
+// div434 is 115200 baud at the paper's 50 MHz clock — the rate real
+// hardware would run, where the round trip is utterly serial-dominated.
+// The stepped kernel's cost scales with the divisor; the warped
+// kernel's cost is divisor-independent (the same bit edges happen, only
+// further apart), which is exactly the event-proportionality the kernel
+// is for. Both variants simulate the identical cycle count
+// (TestTimeWarpBootTranscriptIdentical), so the wall-clock ratio per
+// divisor is the speedup from skipping dead cycles.
+func BenchmarkAblTimeWarp(b *testing.B) {
+	b.ReportAllocs()
+	for _, div := range []int{16, 434} {
+		for _, tc := range []struct {
+			name string
+			warp bool
+		}{{"warp", true}, {"nowarp", false}} {
+			b.Run(fmt.Sprintf("div%d/%s", div, tc.name), func(b *testing.B) {
+				b.ReportAllocs()
+				var cycles uint64
+				for i := 0; i < b.N; i++ {
+					// System construction is not part of the round trip
+					// under measurement.
+					b.StopTimer()
+					cfg := core.Default()
+					cfg.SerialDiv = div
+					sys, err := core.New(cfg)
+					if err != nil {
+						b.Fatal(err)
+					}
+					sys.Clk.SetTimeWarp(tc.warp)
+					b.StartTimer()
+					if err := sys.Boot(); err != nil {
+						b.Fatal(err)
+					}
+					memAddr := noc.Addr{X: 1, Y: 1}
+					if err := sys.Host.WriteMemory(memAddr, 0, make([]uint16, 16)); err != nil {
+						b.Fatal(err)
+					}
+					if _, err := sys.ReadMemory(memAddr, 0, 16); err != nil {
+						b.Fatal(err)
+					}
+					cycles = sys.Clk.Cycle()
+				}
+				b.ReportMetric(float64(cycles), "cycles/roundtrip")
+				b.ReportMetric(float64(cycles)*float64(b.N)/b.Elapsed().Seconds(), "simcycles/sec")
+			})
+		}
+	}
+}
+
 // BenchmarkAblRouting compares routing algorithms under transpose
 // traffic.
 func BenchmarkAblRouting(b *testing.B) {
+	b.ReportAllocs()
 	algos := []struct {
 		name string
 		fn   noc.RoutingFunc
 	}{{"XY", noc.RouteXY}, {"YX", noc.RouteYX}, {"WestFirst", noc.RouteWestFirst}}
 	for _, a := range algos {
 		b.Run(a.name, func(b *testing.B) {
+			b.ReportAllocs()
 			cfg := noc.Defaults(4, 4)
 			cfg.Routing = a.fn
 			var lat float64
@@ -339,8 +415,10 @@ func BenchmarkAblRouting(b *testing.B) {
 
 // BenchmarkAblFlitWidth scales the flit width.
 func BenchmarkAblFlitWidth(b *testing.B) {
+	b.ReportAllocs()
 	for _, bits := range []int{8, 16, 32} {
 		b.Run(fmt.Sprintf("%dbit", bits), func(b *testing.B) {
+			b.ReportAllocs()
 			cfg := noc.Defaults(3, 3)
 			cfg.FlitBits = bits
 			var gbps float64
@@ -358,8 +436,10 @@ func BenchmarkAblFlitWidth(b *testing.B) {
 
 // BenchmarkAblRouteCycles sweeps the per-hop routing time.
 func BenchmarkAblRouteCycles(b *testing.B) {
+	b.ReportAllocs()
 	for _, rc := range []int{6, 14, 28} {
 		b.Run(fmt.Sprintf("rc%d", rc), func(b *testing.B) {
+			b.ReportAllocs()
 			cfg := noc.Defaults(8, 1)
 			cfg.RouteCycles = rc
 			var lat uint64
@@ -377,8 +457,10 @@ func BenchmarkAblRouteCycles(b *testing.B) {
 
 // BenchmarkAblBaud sweeps the serial divisor for a program download.
 func BenchmarkAblBaud(b *testing.B) {
+	b.ReportAllocs()
 	for _, div := range []int{8, 16, 32} {
 		b.Run(fmt.Sprintf("div%d", div), func(b *testing.B) {
+			b.ReportAllocs()
 			var cycles uint64
 			for i := 0; i < b.N; i++ {
 				cfg := core.Default()

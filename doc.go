@@ -5,15 +5,22 @@
 // compiler), the Memory and Serial IP cores, the host software, and a
 // cycle-accurate full-system simulator tying them together.
 //
-// The simulator runs on an activity-scheduled two-phase kernel
-// (internal/sim): components that report themselves idle — routers with
-// empty buffers, links with tx low, endpoints with drained queues,
-// halted processors, quiet UARTs — are skipped entirely and woken by
-// link activity, explicit wakes or timers, while preserving bit-exact
-// equivalence with dense evaluation (same seed, same results, either
-// kernel). Large meshes therefore simulate at a speed proportional to
-// how much hardware is actually switching, not how much is
-// instantiated, and drivers wait for quiescence
+// The simulator runs on an activity-scheduled, time-warping two-phase
+// kernel (internal/sim): components that report themselves idle —
+// routers with empty buffers, links with tx low, endpoints with
+// drained queues, halted processors, quiet UARTs — are skipped
+// entirely and woken by link activity, explicit wakes or timers; and
+// when nothing at all is switching, the kernel jumps the clock
+// straight to the earliest armed timer instead of stepping the dead
+// cycles one by one. The models produce warpable gaps on purpose:
+// UARTs sleep between line transitions on bit-edge timers, routers
+// sleep through their routing delay on a completion timer, and traffic
+// injectors precompute their next injection cycle and sleep until it —
+// so executed steps are proportional to events, not to simulated time
+// (a host round trip at a realistic RS-232 rate costs the same wall
+// clock as at a compressed one). All of it preserves bit-exact
+// equivalence with dense evaluation (same seed, same results, any
+// kernel mode), and drivers wait for quiescence
 // (sim.Clock.RunUntilQuiescent, core.System.DrainIO) instead of
 // stepping a guessed cycle count.
 //

@@ -524,3 +524,87 @@ func TestCompiledProgramOnSystem(t *testing.T) {
 		t.Errorf("P1 output %q", out)
 	}
 }
+
+// TestTimeWarpBootTranscriptIdentical: a full serial boot — 0x55
+// auto-baud, a memory write, a read round trip and a printf program —
+// must produce a bit-identical transcript with time warping on, off,
+// and under the dense reference kernel: same final cycle count, same
+// detected baud, same frame tallies, same read-back words, same
+// program output. This is the whole-stack differential for the
+// time-warp kernel: the serial path exercises UART edge timers, the
+// NoC path the router delay timers.
+func TestTimeWarpBootTranscriptIdentical(t *testing.T) {
+	type transcript struct {
+		cycles       uint64
+		baud         int
+		framesSent   uint64
+		framesRecv   uint64
+		framesToNoC  uint64
+		framesToHost uint64
+		words        [8]uint16
+		output       string
+	}
+	run := func(dense, warp bool) transcript {
+		s, err := New(Default())
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.Clk.SetActivityScheduling(!dense)
+		s.Clk.SetTimeWarp(warp)
+		if err := s.Boot(); err != nil {
+			t.Fatal(err)
+		}
+		memAddr := noc.Addr{X: 1, Y: 1}
+		if err := s.Host.WriteMemory(memAddr, 0, []uint16{10, 20, 30, 40, 50, 60, 70, 80}); err != nil {
+			t.Fatal(err)
+		}
+		got, err := s.ReadMemory(memAddr, 0, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.LoadProgram(1, `
+			LDI R1, 0xFFFF
+			CLR R0
+			LDI R2, 'W'
+			ST R2, R1, R0
+			HALT
+		`); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Activate(1); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.RunUntilHalted(2_000_000, 1); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.DrainIO(1_000_000); err != nil {
+			t.Fatal(err)
+		}
+		tr := transcript{
+			cycles:       s.Clk.Cycle(),
+			baud:         s.Serial.Baud(),
+			framesSent:   s.Host.FramesSent,
+			framesRecv:   s.Host.FramesRecv,
+			framesToNoC:  s.Serial.FramesToNoC,
+			framesToHost: s.Serial.FramesToHost,
+			output:       s.Output(1),
+		}
+		copy(tr.words[:], got)
+		return tr
+	}
+	ref := run(false, true) // the default configuration: sparse + warp
+	if ref.words != [8]uint16{10, 20, 30, 40, 50, 60, 70, 80} {
+		t.Fatalf("read-back words wrong: %v", ref.words)
+	}
+	if ref.output != "W" {
+		t.Fatalf("program output = %q, want W", ref.output)
+	}
+	for _, tc := range []struct {
+		name        string
+		dense, warp bool
+	}{{"sparse-nowarp", false, false}, {"dense", true, false}} {
+		if got := run(tc.dense, tc.warp); got != ref {
+			t.Errorf("%s transcript diverges:\n  warp %+v\n  got  %+v", tc.name, ref, got)
+		}
+	}
+}

@@ -66,6 +66,11 @@ func New(clk *sim.Clock, toNoC, fromNoC *serial.Line, div int) *Host {
 		urx:         serial.NewRX(fromNoC, div),
 		printfBySrc: make(map[uint16][]byte),
 	}
+	// Bound UARTs pace the host with bit-edge timers, so it sleeps
+	// through the dead cycles inside every bit (and the time-warp
+	// kernel skips them).
+	h.utx.Bind(h)
+	h.urx.Bind(h)
 	up := serial.NewUpParser()
 	h.parser.feed = up.Feed
 	h.urx.Recv = func(b byte) {
@@ -126,11 +131,12 @@ func (h *Host) Eval() {
 // Commit implements sim.Component.
 func (h *Host) Commit() {}
 
-// Idle implements sim.Idler: the host sleeps when its transmitter has
-// drained and its receiver sits between frames with the line idle. It
-// is woken by sendFrame/Sync (new bytes queued) or by the watched rx
-// line (the Serial IP starting a frame).
-func (h *Host) Idle() bool { return h.utx.Idle() && h.urx.Idle() }
+// Idle implements sim.Idler: the host sleeps whenever both UART
+// directions are dormant — fully drained, or mid-bit with the next
+// edge/sample timer armed. It is woken by sendFrame/Sync (new bytes
+// queued), by its UARTs' WakeAt timers, or by the watched rx line (the
+// Serial IP starting a frame).
+func (h *Host) Idle() bool { return h.utx.Dormant() && h.urx.Dormant() }
 
 // Sync transmits the 0x55 synchronization byte and waits until the
 // line has been idle long enough for the Serial IP to lock its baud

@@ -9,6 +9,7 @@ import (
 // BenchmarkSimulationRate measures how many router-cycles per second
 // the two-phase kernel sustains on an idle 4x4 mesh.
 func BenchmarkSimulationRate(b *testing.B) {
+	b.ReportAllocs()
 	clk := sim.NewClock()
 	net, err := New(clk, Defaults(4, 4))
 	if err != nil {
@@ -23,7 +24,11 @@ func BenchmarkSimulationRate(b *testing.B) {
 
 // BenchmarkLoadedMeshCycle measures cycle cost with traffic in flight.
 func BenchmarkLoadedMeshCycle(b *testing.B) {
+	b.ReportAllocs()
 	clk := sim.NewClock()
+	// Per-cycle cost benchmark: each iteration must be one cycle, so
+	// dead-cycle skipping is disabled.
+	clk.SetTimeWarp(false)
 	net, err := New(clk, Defaults(4, 4))
 	if err != nil {
 		b.Fatal(err)
@@ -64,6 +69,7 @@ func BenchmarkLoadedMeshCycle(b *testing.B) {
 // The activity kernel's advantage is largest on idle and low-injection
 // meshes, where most of the mesh sleeps.
 func BenchmarkKernelActivity(b *testing.B) {
+	b.ReportAllocs()
 	loads := []struct {
 		name string
 		rate float64 // offered flits/cycle/node
@@ -83,9 +89,12 @@ func BenchmarkKernelActivity(b *testing.B) {
 	for _, load := range loads {
 		for _, k := range kernels {
 			b.Run(load.name+"/"+k.name, func(b *testing.B) {
+				b.ReportAllocs()
 				cfg := Defaults(16, 16)
 				clk := sim.NewClock()
 				clk.SetActivityScheduling(!k.dense)
+				// Per-cycle cost benchmark: one iteration = one cycle.
+				clk.SetTimeWarp(false)
 				net, err := New(clk, cfg)
 				if err != nil {
 					b.Fatal(err)
@@ -140,6 +149,7 @@ func BenchmarkKernelActivity(b *testing.B) {
 
 // BenchmarkServiceEncodeDecode measures the service codec.
 func BenchmarkServiceEncodeDecode(b *testing.B) {
+	b.ReportAllocs()
 	m := &Message{Svc: SvcWriteMem, Src: Addr{1, 0}, Addr: 0x100, Words: make([]uint16, 32)}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

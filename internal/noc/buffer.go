@@ -64,6 +64,9 @@ func (f *fifo) StagePop() {
 
 // Commit applies the staged operations.
 func (f *fifo) Commit() {
+	if !f.stPop && !f.hasPush {
+		return
+	}
 	if f.stPop {
 		f.head = (f.head + 1) % len(f.slots)
 		f.n--

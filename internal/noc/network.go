@@ -96,7 +96,7 @@ func New(clk *sim.Clock, cfg Config) (*Network, error) {
 	for x := 0; x < cfg.Width; x++ {
 		n.routers[x] = make([]*Router, cfg.Height)
 		for y := 0; y < cfg.Height; y++ {
-			r := newRouter(Addr{X: x, Y: y}, cfg)
+			r := newRouter(Addr{X: x, Y: y}, cfg, clk)
 			n.routers[x][y] = r
 			clk.Register(r)
 		}

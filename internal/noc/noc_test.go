@@ -744,3 +744,100 @@ func TestVCDTraceCapturesHandshake(t *testing.T) {
 		t.Errorf("suspiciously few change records:\n%s", out)
 	}
 }
+
+// TestRouterStatsMatchAcrossKernels: the span-integrated router stats
+// (WaitCycles, BufferedFlitCycles accumulated lazily while a router
+// sleeps through its routing delay) must equal the dense per-cycle
+// accumulation exactly, with and without time warping.
+func TestRouterStatsMatchAcrossKernels(t *testing.T) {
+	run := func(dense, warp bool) []RouterStats {
+		cfg := Defaults(4, 1)
+		clk := sim.NewClock()
+		clk.SetActivityScheduling(!dense)
+		clk.SetTimeWarp(warp)
+		net, err := New(clk, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		src, err := net.NewEndpoint(Addr{0, 0})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := net.NewEndpoint(Addr{3, 0}); err != nil {
+			t.Fatal(err)
+		}
+		// Two small packets with a quiet span between them: the second
+		// send keeps a later wake armed while routers sleep mid-delay.
+		m1, err := src.Send(Addr{3, 0}, []uint16{1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := clk.RunUntil(func() bool { return m1.EjectCycle != 0 }, 100000); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := src.Send(Addr{3, 0}, []uint16{2, 3}); err != nil {
+			t.Fatal(err)
+		}
+		if err := clk.RunUntilQuiescent(100000); err != nil {
+			t.Fatal(err)
+		}
+		var out []RouterStats
+		for x := 0; x < cfg.Width; x++ {
+			out = append(out, net.Router(Addr{X: x, Y: 0}).Stats())
+		}
+		return out
+	}
+	ref := run(true, false)
+	for _, tc := range []struct {
+		name        string
+		dense, warp bool
+	}{{"sparse-nowarp", false, false}, {"sparse-warp", false, true}} {
+		got := run(tc.dense, tc.warp)
+		for i := range ref {
+			if got[i] != ref[i] {
+				t.Errorf("%s: router %d stats diverge:\n  dense %+v\n  got   %+v", tc.name, i, ref[i], got[i])
+			}
+		}
+	}
+}
+
+// TestVCDTraceIdenticalUnderTimeWarp: warping over dead spans must not
+// change the waveform dump — no wire can change during a skipped span,
+// so the VCD output is byte-identical with warping on and off.
+func TestVCDTraceIdenticalUnderTimeWarp(t *testing.T) {
+	run := func(warp bool) string {
+		clk := sim.NewClock()
+		clk.SetTimeWarp(warp)
+		net, err := New(clk, Defaults(2, 2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		src, err := net.NewEndpoint(Addr{0, 0})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := net.NewEndpoint(Addr{1, 0}); err != nil {
+			t.Fatal(err)
+		}
+		var sb strings.Builder
+		w := vcd.NewWriter(&sb)
+		AttachVCD(net, w, Addr{1, 0})
+		if err := w.Begin(); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := src.Send(Addr{1, 0}, []uint16{4, 5, 6}); err != nil {
+			t.Fatal(err)
+		}
+		if err := clk.RunUntilQuiescent(100000); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		return sb.String()
+	}
+	warped, stepped := run(true), run(false)
+	if warped != stepped {
+		t.Fatalf("VCD dumps diverge under time warp:\nwarped:\n%s\nstepped:\n%s", warped, stepped)
+	}
+}

@@ -54,15 +54,19 @@ type outPort struct {
 // control is the router's single centralized control logic (§2.1): a
 // round-robin arbiter over the input ports and the XY routing engine.
 // Serving one request takes routeDelay cycles, modelling the paper's
-// Ri >= 7 routing-algorithm time.
+// Ri >= 7 routing-algorithm time. The delay is kept as an absolute
+// completion cycle (with a WakeAt timer armed for it) rather than a
+// per-cycle countdown, so a router whose ports are otherwise at rest
+// can sleep through the routing delay and the time-warp kernel can
+// skip it.
 type control struct {
-	serving   int // input port being served, -1 when idle
-	countdown int
-	rr        int // round-robin scan start
+	serving    int // input port being served, -1 when idle
+	completeAt uint64
+	rr         int // round-robin scan start
 
-	nServing   int
-	nCountdown int
-	nRR        int
+	nServing    int
+	nCompleteAt uint64
+	nRR         int
 }
 
 // RouterStats aggregates observable activity of one router.
@@ -100,18 +104,25 @@ func (s RouterStats) TotalFlits() uint64 {
 // to five simultaneous connections.
 type Router struct {
 	addr       Addr
+	clk        *sim.Clock
 	routing    RoutingFunc
 	routeDelay int // internal cycles per routing-algorithm execution
 	in         [numPorts]inPort
 	out        [numPorts]outPort
 	ctl        control
 	stats      RouterStats
+	// statsAt is the cycle through which the per-cycle stats integrals
+	// (WaitCycles, BufferedFlitCycles) have been accumulated. A router
+	// asleep through the routing delay has frozen registered state, so
+	// the skipped cycles are integrated as span x frozen value on the
+	// next Eval — bit-identical to dense per-cycle accumulation.
+	statsAt uint64
 }
 
 // newRouter builds a router with all ports unconnected; the mesh builder
 // wires links afterwards.
-func newRouter(addr Addr, cfg Config) *Router {
-	r := &Router{addr: addr, routing: cfg.Routing, routeDelay: cfg.internalRouteDelay()}
+func newRouter(addr Addr, cfg Config, clk *sim.Clock) *Router {
+	r := &Router{addr: addr, clk: clk, routing: cfg.Routing, routeDelay: cfg.internalRouteDelay()}
 	for i := Port(0); i < numPorts; i++ {
 		r.in[i] = inPort{port: i, buf: newFifo(cfg.BufDepth), route: PortNone, nRoute: PortNone}
 		r.out[i] = outPort{port: i, src: PortNone, nSrc: PortNone}
@@ -123,8 +134,35 @@ func newRouter(addr Addr, cfg Config) *Router {
 // Addr reports the router's mesh coordinates.
 func (r *Router) Addr() Addr { return r.addr }
 
-// Stats returns a snapshot of the router's counters.
-func (r *Router) Stats() RouterStats { return r.stats }
+// integrateStats adds span cycles of the registered per-port state to
+// the WaitCycles and BufferedFlitCycles integrals in s. It is the one
+// definition of those statistics, shared by Eval's per-cycle (or
+// post-sleep) accumulation and Stats' mid-sleep flush.
+func (r *Router) integrateStats(s *RouterStats, span uint64) (anyRequest bool) {
+	for i := range r.in {
+		p := &r.in[i]
+		if p.requestActive() {
+			anyRequest = true
+			s.WaitCycles += span
+		}
+		if n := p.buf.Len(); n > 0 {
+			s.BufferedFlitCycles += span * uint64(n)
+		}
+	}
+	return anyRequest
+}
+
+// Stats returns a snapshot of the router's counters, with the per-cycle
+// integrals brought up to the current cycle (a router asleep mid
+// routing delay has not evaluated since it fell asleep; its registered
+// state was frozen throughout, so the pending span integrates exactly).
+func (r *Router) Stats() RouterStats {
+	s := r.stats
+	if now := r.clk.Cycle(); now > r.statsAt {
+		r.integrateStats(&s, now-r.statsAt)
+	}
+	return s
+}
 
 // connectIn attaches the upstream link arriving at port p. The router
 // watches the link's tx so an arriving flit wakes it from idle sleep.
@@ -142,33 +180,34 @@ func (r *Router) Name() string { return fmt.Sprintf("router%s", r.addr) }
 // Eval implements sim.Component. All reads observe registered state; all
 // mutations are staged for Commit.
 func (r *Router) Eval() {
-	// Snapshot next-state from current state.
+	evalNow := r.clk.Cycle() + 1
+	span := evalNow - r.statsAt
+	r.statsAt = evalNow
+
+	// Input side: snapshot next-state and accept flits from upstream.
 	for i := range r.in {
 		p := &r.in[i]
 		p.nRoute, p.nPhase, p.nRemaining = p.route, p.phase, p.remaining
+		// A port whose handshake is at rest (incoming tx low, ack low)
+		// is skipped: its eval would stage nothing, so the staged
+		// receiver state already equals the committed state.
+		if p.rcv.link != nil && (p.rcv.link.Tx.Get() || p.rcv.ackHigh) {
+			p.rcv.eval(
+				func() bool { return p.buf.Free() > 0 },
+				func(f Flit) { p.buf.StagePush(f) },
+			)
+		}
 	}
+	// Statistics integrate registered state only (route, phase,
+	// committed buffer length), which nothing in this Eval mutates. The
+	// span exceeds one cycle only after the router slept, and a
+	// sleeping router's registered state is frozen, so span x current
+	// value equals the dense per-cycle sum.
+	anyRequest := r.integrateStats(&r.stats, span)
 	for i := range r.out {
 		r.out[i].nSrc = r.out[i].src
 	}
-	r.ctl.nServing, r.ctl.nCountdown, r.ctl.nRR = r.ctl.serving, r.ctl.countdown, r.ctl.rr
-
-	// Input side: accept flits from upstream into the port buffers. A
-	// port whose handshake is at rest (incoming tx low, ack low) is
-	// skipped: its eval would stage nothing, so the staged receiver
-	// state already equals the committed state.
-	for i := range r.in {
-		p := &r.in[i]
-		if p.rcv.link == nil {
-			continue
-		}
-		if !p.rcv.link.Tx.Get() && !p.rcv.ackHigh {
-			continue
-		}
-		p.rcv.eval(
-			func() bool { return p.buf.Free() > 0 },
-			func(f Flit) { p.buf.StagePush(f) },
-		)
-	}
+	r.ctl.nServing, r.ctl.nCompleteAt, r.ctl.nRR = r.ctl.serving, r.ctl.completeAt, r.ctl.rr
 
 	// Output side: stream flits of established connections downstream.
 	for i := range r.out {
@@ -202,16 +241,7 @@ func (r *Router) Eval() {
 	}
 
 	// Control logic: serve at most one routing request at a time.
-	r.evalControl()
-
-	// Statistics probes.
-	for i := range r.in {
-		p := &r.in[i]
-		if p.requestActive() {
-			r.stats.WaitCycles++
-		}
-		r.stats.BufferedFlitCycles += uint64(p.buf.Len())
-	}
+	r.evalControl(anyRequest, evalNow)
 }
 
 // forwarded advances the wormhole parse state after a flit of input port
@@ -240,22 +270,28 @@ func (r *Router) closeConnection(p *inPort, o *outPort) {
 	o.nSrc = PortNone
 }
 
-func (r *Router) evalControl() {
+func (r *Router) evalControl(anyRequest bool, evalNow uint64) {
 	c := &r.ctl
 	if c.serving < 0 {
+		if !anyRequest {
+			return
+		}
 		for k := 0; k < int(numPorts); k++ {
 			i := (c.rr + k) % int(numPorts)
 			if r.in[i].requestActive() {
 				c.nServing = i
-				c.nCountdown = r.routeDelay
+				c.nCompleteAt = evalNow + uint64(r.routeDelay)
 				c.nRR = (i + 1) % int(numPorts)
+				// The delay is a pure countdown: if every port goes
+				// quiet the router may sleep through it, so arm a
+				// timer for the completion cycle.
+				r.clk.WakeAt(c.nCompleteAt, r)
 				return
 			}
 		}
 		return
 	}
-	c.nCountdown = c.countdown - 1
-	if c.nCountdown > 0 {
+	if evalNow < c.completeAt {
 		return
 	}
 	// Routing algorithm completes this cycle.
@@ -284,21 +320,28 @@ func (r *Router) evalControl() {
 	r.stats.PacketsRouted++
 }
 
-// Idle implements sim.Idler. A router may sleep when every input port
-// is drained (empty buffer, no open wormhole connection, handshake at
-// rest, incoming tx low), every output port is disconnected with its
-// sender idle, and the control logic is not serving a request. In that
-// state Eval stages nothing and drives every wire at its rest value, so
-// skipping it is invisible; the router is woken by the rising tx of an
-// incoming link (watched in connectIn) — the only event that can make
-// it non-idle.
+// Idle implements sim.Idler. A router may sleep when every input port's
+// handshake is at rest (incoming tx low, ack low), no wormhole
+// connection is open (no route established, every parse state at the
+// header phase), and every output port is disconnected with its sender
+// idle. Buffered flits are allowed only while the control logic is
+// mid routing-delay: they are headers (and trailing flits) parked
+// waiting for the grant, nothing about them changes until the
+// completion timer armed in evalControl fires, and the span-integrated
+// stats account for the skipped cycles. With the control idle, any
+// buffered header is a request the next Eval's arbiter scan must see,
+// so the router stays awake. In the sleepable states Eval stages
+// nothing and drives every wire at its rest value; the router is woken
+// by the rising tx of an incoming link (watched in connectIn) or by
+// its routing-delay timer.
 func (r *Router) Idle() bool {
-	if r.ctl.serving >= 0 {
-		return false
-	}
+	serving := r.ctl.serving >= 0
 	for i := range r.in {
 		p := &r.in[i]
-		if p.buf.Len() > 0 || p.route != PortNone || p.phase != phaseHeader || p.rcv.ackHigh {
+		if p.route != PortNone || p.phase != phaseHeader || p.rcv.ackHigh {
+			return false
+		}
+		if !serving && p.buf.Len() > 0 {
 			return false
 		}
 		if p.rcv.link != nil && p.rcv.link.Tx.Get() {
@@ -327,5 +370,5 @@ func (r *Router) Commit() {
 		o.snd.commit()
 		o.src = o.nSrc
 	}
-	r.ctl.serving, r.ctl.countdown, r.ctl.rr = r.ctl.nServing, r.ctl.nCountdown, r.ctl.nRR
+	r.ctl.serving, r.ctl.completeAt, r.ctl.rr = r.ctl.nServing, r.ctl.nCompleteAt, r.ctl.nRR
 }

@@ -35,7 +35,7 @@ func AttachVCD(net *Network, w *vcd.Writer, addrs ...Addr) {
 			})
 		}
 	}
-	net.clk.Probe(func(cycle uint64) {
+	sample := func(cycle uint64) {
 		for _, p := range probes {
 			b2u := func(b bool) uint64 {
 				if b {
@@ -49,5 +49,13 @@ func AttachVCD(net *Network, w *vcd.Writer, addrs ...Addr) {
 		}
 		// Tick errors only occur before Begin; probes start after.
 		_ = w.Tick(cycle)
-	})
+	}
+	net.clk.Probe(sample)
+	// Time warping skips cycles only when no wire can change, so a
+	// skipped span contains no VCD change records by construction; the
+	// interval hook re-samples the frozen signals at the span's end,
+	// which emits nothing, keeping the dump bit-identical to a dense
+	// (or warp-off) run while documenting the ProbeRange obligation for
+	// per-cycle observers.
+	net.clk.ProbeRange(func(from, to uint64) { sample(to) })
 }

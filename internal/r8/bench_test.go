@@ -5,6 +5,7 @@ import "testing"
 // BenchmarkStep measures simulated cycles per second of the
 // cycle-accurate core on an ALU-heavy loop.
 func BenchmarkStep(b *testing.B) {
+	b.ReportAllocs()
 	bus := &ram{}
 	add, _ := Inst{Op: ADD, Rt: 1, Rs1: 2, Rs2: 3}.Encode()
 	jmp, _ := Inst{Op: JMP, Disp: -128}.Encode()
@@ -21,6 +22,7 @@ func BenchmarkStep(b *testing.B) {
 
 // BenchmarkDecode measures the instruction decoder.
 func BenchmarkDecode(b *testing.B) {
+	b.ReportAllocs()
 	words := make([]uint16, 0, NumOps)
 	for op := Op(0); op < numOps; op++ {
 		w, err := (Inst{Op: op, Rt: 1, Rs1: 2, Rs2: 3, Imm: 5, Disp: 1}).Encode()

@@ -17,6 +17,7 @@ int main() { return fib(12); }
 
 // BenchmarkCompile measures the full R8C pipeline (lex, parse, codegen).
 func BenchmarkCompile(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := Compile(benchSource); err != nil {
 			b.Fatal(err)
@@ -27,6 +28,7 @@ func BenchmarkCompile(b *testing.B) {
 // BenchmarkCompiledExecution measures the functional simulator running
 // compiled code (recursive fib(12)).
 func BenchmarkCompiledExecution(b *testing.B) {
+	b.ReportAllocs()
 	asm, err := CompileOpts(benchSource, Options{StackTop: 0xFEFF})
 	if err != nil {
 		b.Fatal(err)

@@ -19,15 +19,24 @@ const (
 // command bytes arriving on rxd and disassembles NoC packets into frame
 // bytes on txd. Before anything else it measures the host baud rate
 // from the 0x55 synchronization byte (§4).
+//
+// Auto-baud is edge-stamped rather than cycle-counted: the watched rxd
+// line wakes the IP at every transition, so the low span of the sync
+// byte's start bit is measured as the difference of two cycle stamps
+// and the settle window as an absolute deadline (armed as a WakeAt
+// timer) — letting the IP sleep through the constant spans in between,
+// which the time-warp kernel then skips outright.
 type IP struct {
 	ep  *noc.Endpoint
+	clk *sim.Clock
 	utx *TX
 	urx *RX
 
-	parser  downParser
-	abState int
-	abCnt   int
-	abDiv   int
+	parser      downParser
+	abState     int
+	abDiv       int
+	abLowStart  uint64 // cycle of the first low Eval of the measured start bit
+	abHighStart uint64 // cycle of the first counted high Eval of the settle run
 
 	// Stats.
 	FramesToNoC  uint64
@@ -46,11 +55,14 @@ func NewIP(net *noc.Network, addr noc.Addr, rxd, txd *Line) (*IP, error) {
 	}
 	ip := &IP{
 		ep:      ep,
+		clk:     net.Clock(),
 		utx:     NewTX(txd, 0),
 		urx:     NewRX(rxd, 0),
 		abState: abWait,
 	}
 	ip.urx.Recv = ip.feed
+	ip.utx.Bind(ip)
+	ip.urx.Bind(ip)
 	ep.SetOwner(ip)
 	// A start bit on the host line must wake the IP out of idle sleep,
 	// both for auto-baud edge measurement and for frame reception.
@@ -139,32 +151,40 @@ func (ip *IP) tickAutobaud() {
 	if ip.abState == abDone {
 		return
 	}
+	now := ip.clk.Cycle() + 1
 	low := !ip.urx.line.Get()
 	switch ip.abState {
 	case abWait:
 		if low {
 			ip.abState = abMeasure
-			ip.abCnt = 1
+			ip.abLowStart = now
 		}
 	case abMeasure:
 		if low {
-			ip.abCnt++
-			return
+			return // constant span; the rising edge wakes us
 		}
 		// The 0x55 sync byte's start bit is exactly one bit period: the
 		// low span we just measured is the divisor.
-		ip.abDiv = ip.abCnt
+		ip.abDiv = int(now - ip.abLowStart)
 		ip.abState = abSettle
-		ip.abCnt = 0
+		// The transition Eval itself is not counted towards the settle
+		// window (matching the per-cycle reference); the run starts on
+		// the next Eval.
+		ip.abHighStart = now + 1
+		ip.armSettle()
 	case abSettle:
 		// Wait for the rest of the sync byte to pass: three bit periods
 		// of continuous idle-high only occur after the stop bit.
 		if low {
-			ip.abCnt = 0
+			ip.abHighStart = 0
 			return
 		}
-		ip.abCnt++
-		if ip.abCnt >= 3*ip.abDiv {
+		if ip.abHighStart == 0 {
+			ip.abHighStart = now
+			ip.armSettle()
+			return
+		}
+		if now >= ip.abHighStart+uint64(3*ip.abDiv)-1 {
 			ip.urx.SetDiv(ip.abDiv)
 			ip.utx.div = ip.abDiv
 			ip.abState = abDone
@@ -172,18 +192,24 @@ func (ip *IP) tickAutobaud() {
 	}
 }
 
+// armSettle wakes the IP at the cycle the current high run completes
+// the settle window (stale timers from interrupted runs fire as
+// harmless no-op Evals).
+func (ip *IP) armSettle() {
+	ip.clk.WakeAt(ip.abHighStart+uint64(3*ip.abDiv)-1, ip)
+}
+
 // Commit implements sim.Component.
 func (ip *IP) Commit() {}
 
-// Idle implements sim.Idler. The Serial IP sleeps when both UART
-// directions are at rest and no NoC packet awaits disassembly. During
-// auto-baud it may only sleep while still waiting for the sync byte's
-// start-bit edge (abWait); the measure and settle states count line
-// cycles and must run every cycle. Wake sources: the watched host line
-// (start bits) and the endpoint owner hook (NoC packets).
+// Idle implements sim.Idler. The Serial IP sleeps whenever both UART
+// directions are dormant (fully at rest, or paced by an armed bit/
+// sample timer) and no NoC packet awaits disassembly. Auto-baud never
+// keeps it awake: the measured and settled spans are constant line
+// levels, so every event that advances the state machine is either a
+// transition of the watched host line or the armed settle deadline.
+// Wake sources: the watched host line, UART WakeAt timers, and the
+// endpoint owner hook (NoC packets).
 func (ip *IP) Idle() bool {
-	if ip.abState != abDone && ip.abState != abWait {
-		return false
-	}
-	return ip.utx.Idle() && ip.urx.Idle() && ip.ep.Pending() == 0
+	return ip.utx.Dormant() && ip.urx.Dormant() && ip.ep.Pending() == 0
 }

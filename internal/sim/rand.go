@@ -1,5 +1,7 @@
 package sim
 
+import "math"
+
 // Rand is a small deterministic pseudo-random number generator
 // (SplitMix64). Hardware models and workload generators use it instead
 // of math/rand so that every simulation is reproducible from its seed
@@ -36,3 +38,24 @@ func (r *Rand) Float64() float64 {
 
 // Bool returns true with probability p.
 func (r *Rand) Bool(p float64) bool { return r.Float64() < p }
+
+// Geometric returns the 1-based index of the first success in a
+// sequence of independent Bernoulli(p) trials, sampled by inverting the
+// geometric CDF from a single uniform draw. Event generators use it to
+// jump straight to their next event cycle — and sleep until it —
+// instead of drawing Bool(p) every cycle. It returns 0 when p <= 0
+// (the event never happens) and 1 when p >= 1.
+func (r *Rand) Geometric(p float64) uint64 {
+	if p <= 0 {
+		return 0
+	}
+	if p >= 1 {
+		return 1
+	}
+	u := r.Float64()
+	g := math.Ceil(math.Log(1-u) / math.Log(1-p))
+	if g < 1 {
+		return 1
+	}
+	return uint64(g)
+}

@@ -58,12 +58,45 @@
 // (its driver is asleep otherwise and the value holds by definition), so
 // idle links cost nothing.
 //
+// # Time warping
+//
+// Activity scheduling makes an idle cycle cheap; time warping makes it
+// free. When a cycle about to execute is provably dead — the active set
+// is empty, no wakes are pending and no wire has a staged value — the
+// only thing that can ever re-start activity is the earliest armed
+// WakeAt timer. Step, Run, RunUntil and RunUntilQuiescent therefore
+// jump the cycle counter directly to that timer's cycle (bounded by the
+// caller's cycle budget) instead of executing the dead span one no-op
+// step at a time. A serial transfer that sleeps between bit edges, or a
+// low-rate traffic sweep whose injectors sleep between packets, then
+// costs executed steps proportional to its *events*, not to simulated
+// time.
+//
+// Skipping is invisible to the simulation itself: during a dead span no
+// component evaluates, no wire latches and no state can change, so the
+// skipped steps would have done exactly nothing. The only observers
+// that notice are per-cycle probes. The contract is:
+//
+//   - Probe functions run once per *executed* cycle. State is frozen
+//     across a skipped span, so a probe that merely samples state loses
+//     nothing (a VCD tracer emits no change records either way).
+//   - Probes that *accumulate* per cycle (occupancy integrals, busy
+//     counters) must also register a ProbeRange hook; it is called with
+//     the inclusive cycle interval of every skipped span, before the
+//     next executed step, so the accumulator can integrate the frozen
+//     state over the span and stay bit-identical to dense evaluation.
+//
+// SetTimeWarp(false) disables the jump (every cycle is stepped, as in
+// PR 1) for differential testing; dense mode never warps.
+//
 // Determinism is unaffected by any of this: the active set only ever
 // skips Evals that stage nothing and Commits that latch nothing, wakes
-// are applied at deterministic points of the cycle, and iteration stays
-// in registration order. The same seed yields bit-identical results
-// with activity scheduling on or off; SetActivityScheduling(false)
-// restores the dense reference behaviour for differential testing.
+// are applied at deterministic points of the cycle, warped spans are
+// provably free of state changes, and iteration stays in registration
+// order. The same seed yields bit-identical results with activity
+// scheduling on or off and with time warping on or off;
+// SetActivityScheduling(false) restores the dense reference behaviour
+// for differential testing.
 package sim
 
 import (
@@ -123,16 +156,23 @@ type Clock struct {
 	activeList []int
 	inEval     bool
 	dense      bool // activity scheduling disabled: evaluate everything
+	noWarp     bool // time warping disabled: step every cycle
 
 	wakePending []bool // parallel to comps; dedups pending
 	pending     []int
 	timers      []wakeTimer // min-heap on cycle
+	// lastArmed coalesces repeated WakeAt calls: the most recent timer
+	// cycle pushed for each component and still pending. A periodic
+	// component that re-arms the same deadline every Eval would
+	// otherwise leak one heap slot per call.
+	lastArmed []uint64
 
 	dirty    []latcher // wires with a staged Set awaiting this edge
 	allWires []latcher // every wire, latched unconditionally in dense mode
 
-	cycle  uint64
-	probes []func(cycle uint64)
+	cycle       uint64
+	probes      []func(cycle uint64)
+	rangeProbes []func(from, to uint64)
 }
 
 // NewClock returns an empty clock domain.
@@ -153,16 +193,32 @@ func (c *Clock) Register(comps ...Component) {
 		c.idlers = append(c.idlers, id)
 		c.active = append(c.active, true)
 		c.wakePending = append(c.wakePending, false)
+		c.lastArmed = append(c.lastArmed, 0)
 		c.activeList = append(c.activeList, i)
 	}
 }
 
-// Probe registers a function invoked after every cycle commits, with the
-// just-completed cycle number. Probes observe post-edge state; they are
-// the hook used for waveform tracing and statistics. Probes run every
-// cycle regardless of activity.
+// Probe registers a function invoked after every executed cycle
+// commits, with the just-completed cycle number. Probes observe
+// post-edge state; they are the hook used for waveform tracing and
+// statistics. Probes run every executed cycle regardless of activity,
+// but cycles skipped by time warping are reported through ProbeRange
+// instead (state is frozen across a skipped span, so a sampling probe
+// misses nothing; an accumulating probe must integrate the span).
 func (c *Clock) Probe(fn func(cycle uint64)) {
 	c.probes = append(c.probes, fn)
+}
+
+// ProbeRange registers a function invoked whenever time warping skips a
+// dead span, with the inclusive interval [from, to] of skipped cycles.
+// It runs before the step that follows the span executes. No component
+// evaluated and no wire changed during [from, to] — the simulation
+// state the hook observes is exactly the state that held throughout —
+// so a per-cycle accumulator integrates the span as (to - from + 1)
+// cycles of the current state and remains bit-identical to dense
+// evaluation. Hooks are never called with an empty span.
+func (c *Clock) ProbeRange(fn func(from, to uint64)) {
+	c.rangeProbes = append(c.rangeProbes, fn)
 }
 
 // Cycle reports how many clock cycles have elapsed.
@@ -180,6 +236,14 @@ func (c *Clock) ActiveCount() int {
 	}
 	return len(c.activeList)
 }
+
+// SetTimeWarp enables (the default) or disables dead-cycle skipping.
+// With it off, Step/Run/RunUntil* execute every cycle one at a time even
+// when the domain is provably dead — the PR 1 reference behaviour, kept
+// for differential testing and speedup benchmarks. Both modes produce
+// bit-identical simulations. Dense mode never warps regardless of this
+// setting.
+func (c *Clock) SetTimeWarp(on bool) { c.noWarp = !on }
 
 // SetActivityScheduling enables (the default) or disables the active-set
 // optimization. Disabling it evaluates every component every cycle — the
@@ -210,21 +274,23 @@ func (c *Clock) Wake(comp Component) {
 	if !ok {
 		return
 	}
-	if c.inEval {
-		c.activate(i)
-		return
-	}
-	if !c.wakePending[i] {
-		c.wakePending[i] = true
-		c.pending = append(c.pending, i)
-	}
+	c.wakeIndex(i)
 }
 
 // WakeAt schedules comp to be active during the step that ends at the
 // given cycle count (i.e. it evaluates the transition to that cycle). A
 // cycle not in the future degenerates to Wake at the next Step.
+// Repeated WakeAt calls for the same component and cycle are coalesced
+// into one timer, so a component may safely re-arm its deadline on
+// every Eval without growing the timer heap.
+//
+// Timers are recorded in dense mode too: activation is moot (everything
+// already runs every cycle) but an armed timer marks in-flight work —
+// a UART mid-bit, a router mid routing-delay — and must hold off
+// Quiescent until it fires, exactly as it does under activity
+// scheduling.
 func (c *Clock) WakeAt(cycle uint64, comp Component) {
-	if c.dense || comp == nil {
+	if comp == nil {
 		return
 	}
 	i, ok := c.index[comp]
@@ -235,6 +301,10 @@ func (c *Clock) WakeAt(cycle uint64, comp Component) {
 		c.Wake(comp)
 		return
 	}
+	if c.lastArmed[i] == cycle {
+		return // duplicate of a still-pending timer
+	}
+	c.lastArmed[i] = cycle
 	// Push onto the min-heap.
 	c.timers = append(c.timers, wakeTimer{cycle: cycle, idx: i})
 	for j := len(c.timers) - 1; j > 0; {
@@ -254,6 +324,23 @@ func (c *Clock) activate(i int) {
 	}
 }
 
+// wakeIndex is Wake for a pre-resolved component index — the wire
+// latch fast path, which would otherwise pay a map lookup per watcher
+// per edge.
+func (c *Clock) wakeIndex(i int) {
+	if c.dense {
+		return
+	}
+	if c.inEval {
+		c.activate(i)
+		return
+	}
+	if !c.wakePending[i] {
+		c.wakePending[i] = true
+		c.pending = append(c.pending, i)
+	}
+}
+
 // applyWakes moves pending and due timer wakes into the active set. It
 // runs at the top of Step, so a wake staged in cycle k activates its
 // component for cycle k+1.
@@ -261,6 +348,9 @@ func (c *Clock) applyWakes() {
 	next := c.cycle + 1
 	for len(c.timers) > 0 && c.timers[0].cycle <= next {
 		c.activate(c.timers[0].idx)
+		if c.lastArmed[c.timers[0].idx] == c.timers[0].cycle {
+			c.lastArmed[c.timers[0].idx] = 0
+		}
 		// Pop the heap root.
 		last := len(c.timers) - 1
 		c.timers[0] = c.timers[last]
@@ -290,11 +380,61 @@ func (c *Clock) applyWakes() {
 	}
 }
 
-// Step advances the simulation by exactly one clock cycle: wake, Eval
-// the active set, Commit it, latch staged wires, then retire idle
+// PendingTimers reports how many WakeAt timers are armed (after
+// coalescing). It exists for tests and diagnostics.
+func (c *Clock) PendingTimers() int { return len(c.timers) }
+
+// warpUnbounded caps nothing: Step outside Run/RunUntil has no cycle
+// budget and may jump to any armed timer.
+const warpUnbounded = ^uint64(0)
+
+// warp jumps the cycle counter over a dead span. A span is dead when
+// the active set is empty, no wakes are pending and no wire holds a
+// staged value: nothing can change until the earliest armed timer
+// fires, so the steps in between would execute nothing. The counter
+// jumps so that the next executed step ends at that timer's cycle —
+// or at limit, when the caller's budget (or the absence of any timer,
+// under a finite limit) caps the jump first. Skipped spans are
+// reported to ProbeRange hooks.
+func (c *Clock) warp(limit uint64) {
+	if c.dense || c.noWarp ||
+		len(c.activeList) != 0 || len(c.pending) != 0 || len(c.dirty) != 0 {
+		return
+	}
+	target := limit
+	if len(c.timers) > 0 && c.timers[0].cycle < target {
+		target = c.timers[0].cycle
+	}
+	if target == warpUnbounded || target <= c.cycle+1 {
+		return
+	}
+	from := c.cycle + 1
+	c.cycle = target - 1
+	for _, p := range c.rangeProbes {
+		p(from, target-1)
+	}
+}
+
+// Step advances the simulation to the next event. With time warping
+// enabled (the default) and the domain momentarily dead — no active
+// components, no pending wakes, no staged wires — the cycle counter
+// first jumps so that this step executes the earliest armed WakeAt
+// timer, skipping the dead cycles in between; otherwise (and always
+// with SetTimeWarp(false)) exactly one cycle executes: wake, Eval the
+// active set, Commit it, latch staged wires, then retire idle
 // components.
 func (c *Clock) Step() {
+	c.warp(warpUnbounded)
+	c.step()
+}
+
+// step executes exactly one clock cycle.
+func (c *Clock) step() {
 	if c.dense {
+		// Timers have no activation effect in dense mode (everything is
+		// already active) but due ones must still pop so Quiescent sees
+		// the in-flight work they mark retire on schedule.
+		c.applyWakes()
 		for _, comp := range c.comps {
 			comp.Eval()
 		}
@@ -353,10 +493,14 @@ func (c *Clock) Step() {
 	}
 }
 
-// Run advances the simulation by n cycles.
+// Run advances the simulation by exactly n cycles of simulated time.
+// Dead spans inside the window are warped over (never past the window's
+// end), so the number of executed steps may be far smaller than n.
 func (c *Clock) Run(n uint64) {
-	for i := uint64(0); i < n; i++ {
-		c.Step()
+	target := c.cycle + n
+	for c.cycle < target {
+		c.warp(target)
+		c.step()
 	}
 }
 
@@ -365,11 +509,15 @@ func (c *Clock) Run(n uint64) {
 var ErrTimeout = errors.New("sim: watchdog timeout")
 
 // RunUntil steps the clock until pred returns true, or fails with
-// ErrTimeout after maxCycles additional cycles. pred is evaluated after
-// each cycle commits.
+// ErrTimeout after maxCycles additional cycles of simulated time. pred
+// is evaluated after each executed cycle commits; cycles skipped by
+// time warping cannot change state, so a predicate over simulation
+// state flips at exactly the same cycle either way.
 func (c *Clock) RunUntil(pred func() bool, maxCycles uint64) error {
-	for i := uint64(0); i < maxCycles; i++ {
-		c.Step()
+	target := c.cycle + maxCycles
+	for c.cycle < target {
+		c.warp(target)
+		c.step()
 		if pred() {
 			return nil
 		}
@@ -392,6 +540,9 @@ func (c *Clock) Quiescent() bool {
 		return false
 	}
 	if c.dense {
+		if len(c.timers) != 0 {
+			return false // armed timers mark in-flight work in any mode
+		}
 		for _, id := range c.idlers {
 			if id == nil || !id.Idle() {
 				return false
@@ -408,11 +559,13 @@ func (c *Clock) Quiescent() bool {
 // everything drained" idiom: drivers stop exactly when the hardware
 // does, without polling a predicate every cycle.
 func (c *Clock) RunUntilQuiescent(maxCycles uint64) error {
-	for i := uint64(0); i < maxCycles; i++ {
+	target := c.cycle + maxCycles
+	for c.cycle < target {
 		if c.Quiescent() {
 			return nil
 		}
-		c.Step()
+		c.warp(target)
+		c.step()
 	}
 	if c.Quiescent() {
 		return nil

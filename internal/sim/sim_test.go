@@ -336,6 +336,226 @@ func TestWatchWakeMatchesDense(t *testing.T) {
 	}
 }
 
+// TestTimeWarpJumpsToTimer: with the domain dead and a timer armed,
+// one Step must land exactly on the timer's cycle, evaluating the
+// component on the same cycle a per-cycle run would.
+func TestTimeWarpJumpsToTimer(t *testing.T) {
+	clk := NewClock()
+	p := &pulser{clk: clk, work: 1}
+	clk.Register(p)
+	clk.Step() // evaluates at cycle 1, then sleeps
+	p.work = 1
+	clk.WakeAt(1000, p)
+	clk.Step() // dead domain: must warp straight to the timer
+	if clk.Cycle() != 1000 {
+		t.Fatalf("cycle after warped step = %d, want 1000", clk.Cycle())
+	}
+	want := []uint64{1, 1000}
+	if len(p.evals) != 2 || p.evals[0] != want[0] || p.evals[1] != want[1] {
+		t.Fatalf("eval cycles %v, want %v", p.evals, want)
+	}
+}
+
+// TestTimeWarpOffStepsEveryCycle: SetTimeWarp(false) restores the
+// one-cycle-per-Step reference behaviour on a dead domain.
+func TestTimeWarpOffStepsEveryCycle(t *testing.T) {
+	clk := NewClock()
+	clk.SetTimeWarp(false)
+	p := &pulser{clk: clk, work: 1}
+	clk.Register(p)
+	clk.Step()
+	p.work = 1
+	clk.WakeAt(10, p)
+	for i := 0; i < 5; i++ {
+		clk.Step()
+	}
+	if clk.Cycle() != 6 {
+		t.Fatalf("cycle = %d, want 6 (no warping)", clk.Cycle())
+	}
+	clk.Run(10)
+	if clk.Cycle() != 16 {
+		t.Fatalf("cycle = %d, want 16", clk.Cycle())
+	}
+	if len(p.evals) != 2 || p.evals[1] != 10 {
+		t.Fatalf("eval cycles %v, want [1 10]", p.evals)
+	}
+}
+
+// TestProbeRangeTilesSkippedSpans: per-cycle probes and range probes
+// must together cover every simulated cycle exactly once, so a
+// per-cycle accumulator integrating ranges stays bit-identical to
+// dense evaluation.
+func TestProbeRangeTilesSkippedSpans(t *testing.T) {
+	clk := NewClock()
+	p := &pulser{clk: clk, work: 2}
+	clk.Register(p)
+	covered := make(map[uint64]int)
+	clk.Probe(func(cycle uint64) { covered[cycle]++ })
+	clk.ProbeRange(func(from, to uint64) {
+		if from > to {
+			t.Fatalf("empty range [%d, %d]", from, to)
+		}
+		for c := from; c <= to; c++ {
+			covered[c]++
+		}
+	})
+	clk.WakeAt(40, p) // fires mid-run
+	clk.Run(100)      // sleeps after cycle 2, warps 3..39 and 41..100
+	if clk.Cycle() != 100 {
+		t.Fatalf("cycle = %d, want 100", clk.Cycle())
+	}
+	for c := uint64(1); c <= 100; c++ {
+		if covered[c] != 1 {
+			t.Fatalf("cycle %d covered %d times, want exactly once", c, covered[c])
+		}
+	}
+}
+
+// TestRunWarpNeverOvershoots: Run's cycle budget must cap a warp even
+// when the earliest timer lies beyond it.
+func TestRunWarpNeverOvershoots(t *testing.T) {
+	clk := NewClock()
+	p := &pulser{clk: clk, work: 1}
+	clk.Register(p)
+	clk.Step()
+	p.work = 1
+	clk.WakeAt(1000, p)
+	clk.Run(50)
+	if clk.Cycle() != 51 {
+		t.Fatalf("cycle = %d, want 51 (budget-capped)", clk.Cycle())
+	}
+	if len(p.evals) != 1 {
+		t.Fatalf("timer fired early: evals %v", p.evals)
+	}
+	clk.Run(2000)
+	if clk.Cycle() != 2051 {
+		t.Fatalf("cycle = %d, want 2051", clk.Cycle())
+	}
+	if len(p.evals) != 2 || p.evals[1] != 1000 {
+		t.Fatalf("eval cycles %v, want second at 1000", p.evals)
+	}
+}
+
+// TestWakeAtCoalescesDuplicates: re-arming the same (component, cycle)
+// deadline must not grow the timer heap — the leak a periodic
+// component re-arming every Eval would otherwise cause.
+func TestWakeAtCoalescesDuplicates(t *testing.T) {
+	clk := NewClock()
+	p := &pulser{clk: clk, work: 1}
+	clk.Register(p)
+	clk.Step()
+	for i := 0; i < 100; i++ {
+		clk.WakeAt(50, p)
+	}
+	if got := clk.PendingTimers(); got != 1 {
+		t.Fatalf("PendingTimers = %d after 100 duplicate arms, want 1", got)
+	}
+	p.work = 1
+	if err := clk.RunUntilQuiescent(100); err != nil {
+		t.Fatal(err)
+	}
+	if len(p.evals) != 2 || p.evals[1] != 50 {
+		t.Fatalf("eval cycles %v, want second at 50", p.evals)
+	}
+	// After the timer fired, the same deadline cycle must be armable
+	// again (for a new simulation phase at a later cycle).
+	clk.WakeAt(200, p)
+	clk.WakeAt(200, p)
+	if got := clk.PendingTimers(); got != 1 {
+		t.Fatalf("PendingTimers = %d after re-arm, want 1", got)
+	}
+}
+
+// TestWakeAtDistinctCyclesAllFire: distinct deadlines for one component
+// are not coalesced away.
+func TestWakeAtDistinctCyclesAllFire(t *testing.T) {
+	clk := NewClock()
+	p := &pulser{clk: clk, work: 1}
+	clk.Register(p)
+	clk.Step()
+	clk.WakeAt(10, p)
+	clk.WakeAt(30, p)
+	clk.WakeAt(20, p)
+	if got := clk.PendingTimers(); got != 3 {
+		t.Fatalf("PendingTimers = %d, want 3", got)
+	}
+	if err := clk.RunUntilQuiescent(100); err != nil {
+		t.Fatal(err)
+	}
+	want := []uint64{1, 10, 20, 30}
+	if len(p.evals) != len(want) {
+		t.Fatalf("eval cycles %v, want %v", p.evals, want)
+	}
+	for i := range want {
+		if p.evals[i] != want[i] {
+			t.Fatalf("eval cycles %v, want %v", p.evals, want)
+		}
+	}
+}
+
+// TestWatchMultipleWatchers: every watcher of a wire must be woken by a
+// value-changing edge, each observing the new value on the same cycle.
+func TestWatchMultipleWatchers(t *testing.T) {
+	clk := NewClock()
+	w := NewWire(clk, "w", uint64(0))
+	d := &stepDriver{out: w, clk: clk, values: map[uint64]uint64{5: 9}}
+	a := &watcherComp{in: w, clk: clk, seen: make(map[uint64]uint64)}
+	b := &watcherComp{in: w, clk: clk, seen: make(map[uint64]uint64)}
+	Watch(w, a, b)
+	clk.Register(d, a, b)
+	clk.Run(10)
+	for name, wc := range map[string]*watcherComp{"a": a, "b": b} {
+		if v, ok := wc.seen[6]; !ok || v != 9 {
+			t.Errorf("watcher %s at cycle 6: %v %v, want 9", name, v, ok)
+		}
+	}
+}
+
+// TestWatchAfterStagedSet: a watcher registered between a staged Set
+// and the edge that latches it must still be woken by that edge.
+func TestWatchAfterStagedSet(t *testing.T) {
+	clk := NewClock()
+	w := NewWire(clk, "w", uint64(0))
+	wc := &watcherComp{in: w, clk: clk, seen: make(map[uint64]uint64)}
+	clk.Register(wc)
+	clk.Run(3) // watcher asleep from cycle 1 on
+	w.Set(7)   // staged outside Eval, awaiting the next edge
+	Watch(w, wc)
+	clk.Run(3)
+	if v, ok := wc.seen[5]; !ok || v != 7 {
+		t.Fatalf("watcher after late registration: seen %v, want 7 at cycle 5", wc.seen)
+	}
+}
+
+// TestWatchDenseMode: with activity scheduling off the watcher
+// machinery must be inert but harmless — the watcher (evaluated every
+// cycle anyway) observes exactly what the sparse run's wakes showed it.
+func TestWatchDenseMode(t *testing.T) {
+	run := func(sparse bool) map[uint64]uint64 {
+		clk := NewClock()
+		clk.SetActivityScheduling(sparse)
+		w := NewWire(clk, "w", uint64(0))
+		d := &stepDriver{out: w, clk: clk, values: map[uint64]uint64{4: 3, 8: 11}}
+		wc := &watcherComp{in: w, clk: clk, seen: make(map[uint64]uint64)}
+		Watch(w, wc)
+		clk.Register(d, wc)
+		clk.Run(12)
+		return wc.seen
+	}
+	dense, sparse := run(false), run(true)
+	for cyc, v := range sparse {
+		if dense[cyc] != v {
+			t.Errorf("cycle %d: sparse saw %d, dense saw %d", cyc, v, dense[cyc])
+		}
+	}
+	if v := dense[5]; v != 3 {
+		t.Errorf("dense watcher at cycle 5 = %d, want 3", v)
+	}
+	if v := dense[9]; v != 11 {
+		t.Errorf("dense watcher at cycle 9 = %d, want 11", v)
+	}
+}
+
 // TestDenseKernelEquivalence runs the counter/follower pair under both
 // kernels and requires identical traces.
 func TestDenseKernelEquivalence(t *testing.T) {

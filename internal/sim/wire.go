@@ -17,9 +17,12 @@ type Wire[T any] struct {
 	dirty     bool
 
 	// eq and watchers implement Watch; eq is nil until the first
-	// watcher registers.
-	eq       func(a, b T) bool
-	watchers []Component
+	// watcher registers. watcherIdx caches each watcher's component
+	// index (resolved lazily, since Watch may run before Register) so
+	// the latch-time wake avoids a map lookup per edge.
+	eq         func(a, b T) bool
+	watchers   []Component
+	watcherIdx []int
 }
 
 // NewWire creates a wire in clk's domain, carrying v both as the current
@@ -32,6 +35,11 @@ func NewWire[T any](clk *Clock, name string, v T) *Wire[T] {
 
 // Name reports the wire's diagnostic name.
 func (w *Wire[T]) Name() string { return w.name }
+
+// Clock returns the clock domain the wire belongs to, so code handed
+// only a wire (a UART given its line) can derive cycle counts and arm
+// timers in the right domain.
+func (w *Wire[T]) Clock() *Clock { return w.clk }
 
 // Get returns the value latched at the previous clock edge.
 func (w *Wire[T]) Get() T { return w.cur }
@@ -52,8 +60,13 @@ func (w *Wire[T]) Peek() T { return w.next }
 
 func (w *Wire[T]) latch() {
 	if w.watchers != nil && !w.eq(w.cur, w.next) {
-		for _, comp := range w.watchers {
-			w.clk.Wake(comp)
+		for k, comp := range w.watchers {
+			if i := w.watcherIdx[k]; i >= 0 {
+				w.clk.wakeIndex(i)
+			} else if i, ok := w.clk.index[comp]; ok {
+				w.watcherIdx[k] = i
+				w.clk.wakeIndex(i)
+			}
 		}
 	}
 	w.cur = w.next
@@ -72,4 +85,7 @@ func Watch[T comparable](w *Wire[T], comps ...Component) {
 		w.eq = func(a, b T) bool { return a == b }
 	}
 	w.watchers = append(w.watchers, comps...)
+	for range comps {
+		w.watcherIdx = append(w.watcherIdx, -1)
+	}
 }

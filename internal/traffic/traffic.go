@@ -80,6 +80,12 @@ type Config struct {
 	// dense kernel exists as the reference for differential tests and
 	// speedup benchmarks.
 	DenseKernel bool
+	// NoTimeWarp disables the kernel's dead-cycle skipping for this
+	// run: every cycle is stepped one at a time even when the whole
+	// mesh sleeps between injections. Results are bit-identical either
+	// way (see TestTimeWarpMatchesNoWarp); the option exists for
+	// differential tests and speedup benchmarks.
+	NoTimeWarp bool
 }
 
 // Result reports a load experiment.
@@ -98,6 +104,80 @@ type Result struct {
 	MeasuredPackets int
 }
 
+// injector drives one node's Bernoulli packet process as a clocked
+// component. Rather than drawing a Bernoulli(p) sample every cycle, it
+// draws the geometric gap to its next injection cycle, arms a WakeAt
+// timer for it and sleeps — so a low-rate sweep leaves the whole clock
+// domain dead between injections and the time-warp kernel jumps the
+// gaps outright. The process is identical under dense evaluation (Eval
+// runs every cycle but acts only at the scheduled cycle) and with time
+// warping off, keeping the Results bit-identical across all kernel
+// modes.
+type injector struct {
+	clk      *sim.Clock
+	ep       *noc.Endpoint
+	rng      *sim.Rand
+	pattern  Pattern
+	ncfg     noc.Config
+	prob     float64 // per-cycle packet probability
+	payload  int
+	queueCap int
+
+	// measureFrom/measureTo bound the measurement window and lastAt the
+	// whole injection phase, all in cycle numbers of the Eval they
+	// apply to (inclusive).
+	measureFrom, measureTo, lastAt uint64
+
+	next uint64 // cycle of the next injection attempt; 0 = finished
+
+	// Per-injector tallies, aggregated by Run in node order so the
+	// result is independent of the active set's evaluation order.
+	measuredInjected uint64
+	measured         []*noc.PacketMeta
+}
+
+// Name implements sim.Component.
+func (in *injector) Name() string { return "inj" + in.ep.Addr().String() }
+
+// schedule draws the gap to the next injection attempt after now.
+func (in *injector) schedule(now uint64) {
+	gap := in.rng.Geometric(in.prob)
+	if gap == 0 || now+gap > in.lastAt {
+		in.next = 0 // injection phase over: no timer, permanently idle
+		return
+	}
+	in.next = now + gap
+	in.clk.WakeAt(in.next, in)
+}
+
+// Eval implements sim.Component.
+func (in *injector) Eval() {
+	now := in.clk.Cycle() + 1
+	if in.next == 0 || now < in.next {
+		return
+	}
+	if in.ep.QueuedFlits() <= in.queueCap {
+		dst := in.pattern(in.ep.Addr(), in.rng, in.ncfg)
+		if meta, err := in.ep.Send(dst, make([]uint16, in.payload)); err == nil {
+			if now >= in.measureFrom && now <= in.measureTo {
+				in.measuredInjected += uint64(in.payload + 2)
+				in.measured = append(in.measured, meta)
+			}
+		}
+	}
+	in.schedule(now)
+}
+
+// Commit implements sim.Component.
+func (in *injector) Commit() {}
+
+// Idle implements sim.Idler: the injector sleeps whenever its next
+// injection is beyond the coming cycle (a WakeAt timer is armed for
+// it), and forever once the injection phase ends.
+func (in *injector) Idle() bool {
+	return in.next == 0 || in.next > in.clk.Cycle()+1
+}
+
 // Run executes a load experiment on a fresh network.
 func Run(ncfg noc.Config, tcfg Config) (Result, error) {
 	if tcfg.Pattern == nil {
@@ -114,62 +194,44 @@ func Run(ncfg noc.Config, tcfg Config) (Result, error) {
 	}
 	clk := sim.NewClock()
 	clk.SetActivityScheduling(!tcfg.DenseKernel)
+	clk.SetTimeWarp(!tcfg.NoTimeWarp)
 	net, err := noc.New(clk, ncfg)
 	if err != nil {
 		return Result{}, err
 	}
-	type node struct {
-		ep  *noc.Endpoint
-		rng *sim.Rand
-	}
-	var nodes []node
+	warmup, measure := uint64(tcfg.Warmup), uint64(tcfg.Measure)
+	var injectors []*injector
 	for x := 0; x < ncfg.Width; x++ {
 		for y := 0; y < ncfg.Height; y++ {
 			ep, err := net.NewEndpoint(noc.Addr{X: x, Y: y})
 			if err != nil {
 				return Result{}, err
 			}
-			nodes = append(nodes, node{ep: ep, rng: sim.NewRand(tcfg.Seed + uint64(x*31+y))})
-		}
-	}
-	pktProb := tcfg.Rate / float64(tcfg.PayloadFlits+2)
-	var injectedFlits, measuredInjected uint64
-	var measured []*noc.PacketMeta
-	measuring := false
-
-	inject := func() {
-		for _, n := range nodes {
-			if !n.rng.Bool(pktProb) {
-				continue
+			in := &injector{
+				clk:      clk,
+				ep:       ep,
+				rng:      sim.NewRand(tcfg.Seed + uint64(x*31+y)),
+				pattern:  tcfg.Pattern,
+				ncfg:     ncfg,
+				prob:     tcfg.Rate / float64(tcfg.PayloadFlits+2),
+				payload:  tcfg.PayloadFlits,
+				queueCap: tcfg.QueueCap,
+				// Injection opportunities span cycles 1..warmup+measure;
+				// the measurement window is its tail.
+				measureFrom: warmup + 1,
+				measureTo:   warmup + measure,
+				lastAt:      warmup + measure,
 			}
-			if n.ep.QueuedFlits() > tcfg.QueueCap {
-				continue
-			}
-			dst := tcfg.Pattern(n.ep.Addr(), n.rng, ncfg)
-			meta, err := n.ep.Send(dst, make([]uint16, tcfg.PayloadFlits))
-			if err != nil {
-				continue
-			}
-			injectedFlits += uint64(tcfg.PayloadFlits + 2)
-			if measuring {
-				measuredInjected += uint64(tcfg.PayloadFlits + 2)
-				measured = append(measured, meta)
-			}
+			clk.Register(in)
+			in.schedule(0)
+			injectors = append(injectors, in)
 		}
 	}
 
-	for i := 0; i < tcfg.Warmup; i++ {
-		inject()
-		clk.Step()
-	}
-	measuring = true
-	startDelivered := deliveredFlits(net, nodes[0].ep)
-	for i := 0; i < tcfg.Measure; i++ {
-		inject()
-		clk.Step()
-	}
-	endDelivered := deliveredFlits(net, nodes[0].ep)
-	measuring = false
+	clk.Run(warmup)
+	startDelivered := deliveredFlits(net)
+	clk.Run(measure)
+	endDelivered := deliveredFlits(net)
 	// Drain so measured packets complete. Quiescence means every
 	// in-flight flit has been delivered and the mesh is back to sleep,
 	// so this stops as soon as the drain is actually done; the Drain
@@ -177,7 +239,15 @@ func Run(ncfg noc.Config, tcfg Config) (Result, error) {
 	// exactly as the old fixed-length drain did).
 	_ = clk.RunUntilQuiescent(uint64(tcfg.Drain))
 
-	nNodes := float64(len(nodes))
+	// Aggregate per-injector tallies in node order, so the Result does
+	// not depend on the order the active set evaluated the injectors.
+	var measuredInjected uint64
+	var measured []*noc.PacketMeta
+	for _, in := range injectors {
+		measuredInjected += in.measuredInjected
+		measured = append(measured, in.measured...)
+	}
+	nNodes := float64(len(injectors))
 	res := Result{
 		Offered:         tcfg.Rate,
 		Accepted:        float64(measuredInjected) / float64(tcfg.Measure) / nNodes,
@@ -190,7 +260,7 @@ func Run(ncfg noc.Config, tcfg Config) (Result, error) {
 
 // deliveredFlits approximates delivered flit volume from completed
 // packet metadata.
-func deliveredFlits(net *noc.Network, _ *noc.Endpoint) uint64 {
+func deliveredFlits(net *noc.Network) uint64 {
 	var t uint64
 	for _, m := range net.Completed() {
 		t += uint64(m.Len)

@@ -274,6 +274,36 @@ func TestSparseKernelMatchesDense(t *testing.T) {
 	}
 }
 
+// TestTimeWarpMatchesNoWarp: skipping dead cycles must be invisible —
+// the same experiment with time warping on and off (activity scheduling
+// on in both) produces bit-identical Results across loads, including
+// near-idle rates where almost all simulated time is warped.
+func TestTimeWarpMatchesNoWarp(t *testing.T) {
+	for _, rate := range []float64{0.002, 0.05, 0.40} {
+		cfg := noc.Defaults(6, 6)
+		tcfg := Config{
+			Rate: rate, PayloadFlits: 8, Seed: 42,
+			Warmup: 500, Measure: 3000, Drain: 30000,
+		}
+		tcfg.NoTimeWarp = false
+		warp, err := Run(cfg, tcfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tcfg.NoTimeWarp = true
+		dense, err := Run(cfg, tcfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if warp != dense {
+			t.Fatalf("rate %.3f: time-warp changed the experiment:\n  warp   %+v\n  nowarp %+v", rate, warp, dense)
+		}
+		if warp.MeasuredPackets == 0 {
+			t.Fatalf("rate %.3f: experiment measured no packets", rate)
+		}
+	}
+}
+
 // TestQuiescentMatchesDenseRunUntil: draining a mesh with
 // RunUntilQuiescent on the activity kernel delivers exactly the packets
 // (and per-packet latencies) that the dense kernel's predicate-polling

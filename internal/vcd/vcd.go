@@ -101,8 +101,13 @@ func (v *Writer) emit(s *Signal, val uint64) {
 	fmt.Fprintf(v.w, "b%b %s\n", val, s.id)
 }
 
-// Tick emits change records for cycle. Call it after every clock step
-// (monotonically increasing cycles).
+// Tick emits change records for cycle. Call it after every executed
+// clock step with the just-completed cycle number. Cycle numbers must
+// increase monotonically but need not be contiguous: a time-warping
+// kernel skips dead spans, and since no signal can change during a
+// skipped span, a dump produced from warped ticks is byte-identical to
+// one produced stepping every cycle (the timestamp of each change
+// record is the cycle the change committed, in either mode).
 func (v *Writer) Tick(cycle uint64) error {
 	if !v.began {
 		return fmt.Errorf("vcd: Tick before Begin")
