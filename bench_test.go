@@ -330,6 +330,43 @@ func BenchmarkAblKernelSchedule(b *testing.B) {
 	}
 }
 
+// BenchmarkKernelParallel measures the sharded parallel kernel's
+// scaling curve on the BenchmarkAblKernelSchedule workload (16x16
+// uniform traffic at 0.2% injection): column-strip partitions of 1, 2,
+// 4 and 8 domains, each executed serially (lockstep, the bit-exact
+// reference) and in parallel (one goroutine per domain under the
+// conservative horizon protocol). Every variant produces the identical
+// Result (TestShardedMatchesUnsharded, TestParallelMatchesSerial); the
+// metric is simulated cycles per wall-clock second. Parallel speedup
+// over serial requires hardware cores — on a single-core host the
+// horizon protocol's overhead is all that shows.
+func BenchmarkKernelParallel(b *testing.B) {
+	b.ReportAllocs()
+	const simCycles = 500 + 3000 // warmup + measure (drain adds a tail)
+	for _, domains := range []int{1, 2, 4, 8} {
+		for _, parallel := range []bool{false, true} {
+			mode := "serial"
+			if parallel {
+				mode = "parallel"
+			}
+			b.Run(fmt.Sprintf("domains%d/%s", domains, mode), func(b *testing.B) {
+				b.ReportAllocs()
+				cfg := noc.Defaults(16, 16)
+				for i := 0; i < b.N; i++ {
+					if _, err := traffic.Run(cfg, traffic.Config{
+						Rate: 0.002, PayloadFlits: 8, Seed: 3,
+						Warmup: 500, Measure: 3000, Drain: 20000,
+						Domains: domains, Parallel: parallel,
+					}); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.ReportMetric(float64(simCycles)*float64(b.N)/b.Elapsed().Seconds(), "simcycles/sec")
+			})
+		}
+	}
+}
+
 // BenchmarkAblTimeWarp measures the time-warp kernel on the workload it
 // targets: the E7 host round trip (auto-baud boot, a 16-word memory
 // write and a 16-word read back over the bit-level RS-232 path), where

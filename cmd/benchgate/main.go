@@ -1,0 +1,109 @@
+// Command benchgate compares two benchjson documents and fails when a
+// throughput metric regressed beyond a threshold — the CI gate that
+// keeps the simulator's performance trajectory monotonic across PRs.
+//
+// Usage:
+//
+//	benchgate -base BENCH_PR2.json -new BENCH_NEW.json
+//	benchgate -base old.json -new new.json -metric simcycles/sec -threshold 0.15
+//
+// Benchmarks are matched by name; only those present in both files and
+// carrying the metric are compared. The metric is
+// higher-is-better (simulated cycles per wall-clock second); a new
+// value below (1 - threshold) x base is a regression. Benchmarks that
+// appear only on one side are reported but never fail the gate, so
+// baselines from earlier PRs remain usable as the suite grows.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+)
+
+// Entry mirrors cmd/benchjson's output format.
+type Entry struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+type doc struct {
+	Benchmarks []Entry `json:"benchmarks"`
+}
+
+func load(path string) (map[string]Entry, error) {
+	bs, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var d doc
+	if err := json.Unmarshal(bs, &d); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	m := make(map[string]Entry, len(d.Benchmarks))
+	for _, e := range d.Benchmarks {
+		m[e.Name] = e
+	}
+	return m, nil
+}
+
+func main() {
+	basePath := flag.String("base", "", "baseline benchjson file")
+	newPath := flag.String("new", "", "candidate benchjson file")
+	metric := flag.String("metric", "simcycles/sec", "higher-is-better metric to gate on")
+	threshold := flag.Float64("threshold", 0.15, "allowed fractional regression")
+	flag.Parse()
+	if *basePath == "" || *newPath == "" {
+		fmt.Fprintln(os.Stderr, "benchgate: -base and -new are required")
+		os.Exit(2)
+	}
+	base, err := load(*basePath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(2)
+	}
+	cand, err := load(*newPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(2)
+	}
+
+	compared, regressed := 0, 0
+	for name, b := range base {
+		bv, ok := b.Metrics[*metric]
+		if !ok || bv <= 0 {
+			continue
+		}
+		c, ok := cand[name]
+		if !ok {
+			fmt.Printf("MISSING  %-60s (baseline only)\n", name)
+			continue
+		}
+		cv, ok := c.Metrics[*metric]
+		if !ok {
+			fmt.Printf("MISSING  %-60s (no %s in candidate)\n", name, *metric)
+			continue
+		}
+		compared++
+		change := cv/bv - 1
+		status := "OK      "
+		if cv < bv*(1-*threshold) {
+			status = "REGRESS "
+			regressed++
+		}
+		fmt.Printf("%s %-60s base %14.0f  new %14.0f  %+6.1f%%\n",
+			status, name, bv, cv, 100*change)
+	}
+	if compared == 0 {
+		fmt.Fprintf(os.Stderr, "benchgate: no comparable benchmarks with metric %q\n", *metric)
+		os.Exit(2)
+	}
+	if regressed > 0 {
+		fmt.Fprintf(os.Stderr, "benchgate: %d of %d benchmarks regressed more than %.0f%%\n",
+			regressed, compared, 100**threshold)
+		os.Exit(1)
+	}
+	fmt.Printf("benchgate: %d benchmarks within %.0f%% of baseline\n", compared, 100**threshold)
+}

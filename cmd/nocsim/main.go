@@ -36,6 +36,8 @@ func main() {
 	sweep := flag.String("sweep", "", "comma-separated rates for a sweep table")
 	peak := flag.Bool("peak", false, "run the 5-connection peak-throughput experiment")
 	vcdPath := flag.String("vcd", "", "trace the centre router's links to a VCD waveform file")
+	domains := flag.Int("domains", 1, "shard the mesh into this many clock domains (column strips)")
+	parallel := flag.Bool("parallel", false, "run clock domains on separate goroutines (needs -domains > 1)")
 	flag.Parse()
 
 	cfg := noc.Defaults(*w, *h)
@@ -100,6 +102,7 @@ func main() {
 		res, err := traffic.Run(cfg, traffic.Config{
 			Pattern: pat, Rate: r, PayloadFlits: *payload, Seed: *seed,
 			Warmup: *cycles / 4, Measure: *cycles, Drain: *cycles * 2,
+			Domains: *domains, Parallel: *parallel,
 		})
 		if err != nil {
 			fatal(err)

@@ -24,6 +24,24 @@
 // (sim.Clock.RunUntilQuiescent, core.System.DrainIO) instead of
 // stepping a guessed cycle count.
 //
+// The system can additionally be sharded into GALS-style clock domains
+// (sim.Group): the mesh is partitioned into per-region domains
+// (noc.NewSharded, noc.StripDomains, core.Config.NoCDomains) whose
+// only coupling is mirror wires (sim.MirrorWire) with a one-cycle
+// boundary register — the conservative lookahead. Each domain owns its
+// active set, wake queue and timer heap and warps its own dead spans;
+// in parallel mode (Group.SetParallel) every domain runs on its own
+// goroutine and may advance to min(upstream horizons) + 1, exchanging
+// wire changes as ordered cross-domain events. The contract for models
+// is unchanged: anything built on registered wires, Watch, and WakeAt
+// timers is warpable and shardable as-is, because a mirror delivers a
+// change with exactly a local wire's timing. Lockstep execution
+// (SetParallel(false), the default) is bit-identical to registering
+// everything on one Clock — traffic results, router statistics, VCD
+// dumps, and full boot transcripts — and the parallel schedule is
+// deterministic for a fixed partition and reproduces the lockstep
+// results exactly.
+//
 // See README.md for a tour, DESIGN.md for the system inventory and
 // experiment index, and EXPERIMENTS.md for paper-vs-measured results.
 // The benchmarks in bench_test.go regenerate every experiment; the

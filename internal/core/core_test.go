@@ -608,3 +608,98 @@ func TestTimeWarpBootTranscriptIdentical(t *testing.T) {
 		}
 	}
 }
+
+// TestShardedBootTranscriptIdentical: the same whole-stack transcript
+// must be bit-identical when the mesh is sharded into clock domains —
+// in lockstep and in parallel — on the Figure 1 system and on a larger
+// scaled one. The serial path crosses the domain-0/mesh boundary on
+// every frame; processors and memories talk to their routers over
+// cross-domain Local-port links throughout.
+func TestShardedBootTranscriptIdentical(t *testing.T) {
+	type transcript struct {
+		cycles       uint64
+		baud         int
+		framesSent   uint64
+		framesRecv   uint64
+		framesToNoC  uint64
+		framesToHost uint64
+		words        [8]uint16
+		output       string
+	}
+	run := func(cfg Config, domains int, parallel bool) transcript {
+		cfg.NoCDomains = domains
+		cfg.NoCParallel = parallel
+		s, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if domains > 1 && s.Group == nil {
+			t.Fatal("sharded system has no Group")
+		}
+		if err := s.Boot(); err != nil {
+			t.Fatal(err)
+		}
+		memAddr := cfg.Memories[0]
+		if err := s.Host.WriteMemory(memAddr, 0, []uint16{10, 20, 30, 40, 50, 60, 70, 80}); err != nil {
+			t.Fatal(err)
+		}
+		got, err := s.ReadMemory(memAddr, 0, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.LoadProgram(1, `
+			LDI R1, 0xFFFF
+			CLR R0
+			LDI R2, 'W'
+			ST R2, R1, R0
+			HALT
+		`); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Activate(1); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.RunUntilHalted(2_000_000, 1); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.DrainIO(1_000_000); err != nil {
+			t.Fatal(err)
+		}
+		tr := transcript{
+			cycles:       s.Clk.Cycle(),
+			baud:         s.Serial.Baud(),
+			framesSent:   s.Host.FramesSent,
+			framesRecv:   s.Host.FramesRecv,
+			framesToNoC:  s.Serial.FramesToNoC,
+			framesToHost: s.Serial.FramesToHost,
+			output:       s.Output(1),
+		}
+		copy(tr.words[:], got)
+		return tr
+	}
+	scaled, err := Scaled(4, 4, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sys := range []struct {
+		name    string
+		cfg     Config
+		domains []int
+	}{
+		{"fig1", Default(), []int{2}},
+		{"scaled4x4", scaled, []int{2, 4}},
+	} {
+		ref := run(sys.cfg, 0, false)
+		if ref.output != "W" {
+			t.Fatalf("%s: program output = %q, want W", sys.name, ref.output)
+		}
+		for _, d := range sys.domains {
+			for _, parallel := range []bool{false, true} {
+				if got := run(sys.cfg, d, parallel); got != ref {
+					t.Errorf("%s domains=%d parallel=%v transcript diverges:\n  ref %+v\n  got %+v",
+						sys.name, d, parallel, ref, got)
+				}
+			}
+		}
+	}
+}

@@ -8,6 +8,9 @@ import (
 // TestAllSectionsRun executes every experiment end to end; each section
 // carries its own internal assertions (mismatches return errors).
 func TestAllSectionsRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment sweep; skipped in -short (race CI) runs")
+	}
 	for _, s := range All() {
 		t.Run(s.ID, func(t *testing.T) {
 			var sb strings.Builder
@@ -25,6 +28,9 @@ func TestAllSectionsRun(t *testing.T) {
 // TestReportIsComplete checks the full report contains every section
 // header and the regeneration note.
 func TestReportIsComplete(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment sweep; skipped in -short (race CI) runs")
+	}
 	var sb strings.Builder
 	if err := Report(&sb); err != nil {
 		t.Fatal(err)
@@ -43,6 +49,9 @@ func TestReportIsComplete(t *testing.T) {
 // TestReportDeterminism: two runs must produce byte-identical output
 // (fixed seeds, no time dependence).
 func TestReportDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment sweep; skipped in -short (race CI) runs")
+	}
 	var a, b strings.Builder
 	if err := Report(&a); err != nil {
 		t.Fatal(err)

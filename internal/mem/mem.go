@@ -203,9 +203,10 @@ type IP struct {
 }
 
 // NewIP creates the remote memory at the given mesh address and
-// registers it with the network's clock.
+// registers it with the network's primary clock (domain 0 on a sharded
+// network, matching its endpoint's placement).
 func NewIP(net *noc.Network, addr noc.Addr, words int) (*IP, error) {
-	ep, err := net.NewEndpoint(addr)
+	ep, err := net.NewEndpointFor(net.Clock(), addr)
 	if err != nil {
 		return nil, err
 	}

@@ -18,6 +18,9 @@ import (
 type Endpoint struct {
 	net   *Network
 	addr  Addr
+	clk   *sim.Clock // the endpoint's (and its owner's) clock domain
+	dom   int        // shard index for packet bookkeeping
+	self  sim.Handle // pre-resolved wake token, set at registration
 	snd   sender
 	rcv   receiver
 	owner sim.Component // woken when a packet completes; may be nil
@@ -58,7 +61,7 @@ func (e *Endpoint) Send(dst Addr, payload []uint16) (*PacketMeta, error) {
 		return nil, fmt.Errorf("noc: payload of %d flits exceeds max %d",
 			len(payload), MaxPayload(e.net.cfg.FlitBits))
 	}
-	meta := e.net.allocMeta(e.addr, dst, len(payload))
+	meta := e.net.allocMeta(e, dst, len(payload))
 	p := Packet{Src: e.addr, Dst: dst, Payload: payload, Meta: meta}
 	flits := p.flits(e.net.cfg.FlitBits)
 	for i, fl := range flits {
@@ -67,9 +70,13 @@ func (e *Endpoint) Send(dst Addr, payload []uint16) (*PacketMeta, error) {
 	// A sleeping endpoint must join the current edge so the staged
 	// flits commit to the injection queue this cycle, exactly as they
 	// would under dense evaluation.
-	e.net.clk.Wake(e)
+	e.self.Wake()
 	return meta, nil
 }
+
+// Clock returns the endpoint's clock domain (the attached router's, or
+// the owner's when built with NewEndpointFor).
+func (e *Endpoint) Clock() *sim.Clock { return e.clk }
 
 // Recv pops the oldest fully received packet, reporting false when none
 // is pending.
@@ -105,7 +112,7 @@ func (e *Endpoint) Eval() {
 		func() {
 			tf := e.txq[e.popped]
 			if tf.header {
-				tf.f.Meta.InjectCycle = e.net.clk.Cycle()
+				tf.f.Meta.InjectCycle = e.clk.Cycle()
 			}
 			if tf.tail {
 				e.sent++
@@ -146,12 +153,12 @@ func (e *Endpoint) complete() {
 	var src Addr
 	if e.rxMeta != nil {
 		src = e.rxMeta.Src
-		e.net.packetDelivered(e.rxMeta)
+		e.net.packetDelivered(e, e.rxMeta)
 	}
 	e.stRxDone = append(e.stRxDone, Packet{Src: src, Dst: e.addr, Payload: payload, Meta: e.rxMeta})
 	e.rxPhase = phaseHeader
 	e.received++
-	e.net.clk.Wake(e.owner)
+	e.clk.Wake(e.owner)
 }
 
 // Idle implements sim.Idler. An endpoint may sleep when its injection

@@ -72,33 +72,86 @@ func (c Config) validate() error {
 	}
 }
 
-// Network is a complete Hermes mesh: routers, inter-router links and the
-// endpoints attached to Local ports. It lives in a caller-provided clock
-// domain so that IP-core models can share the clock.
-type Network struct {
-	cfg       Config
-	clk       *sim.Clock
-	routers   [][]*Router
-	endpoints map[Addr]*Endpoint
-
+// netShard holds the per-domain slice of the network's bookkeeping, so
+// endpoints in different clock domains allocate packet IDs and log
+// deliveries without sharing state across goroutines. An unsharded
+// network has exactly one shard.
+type netShard struct {
 	nextPktID uint64
 	completed []*PacketMeta
 	delivered uint64
 }
 
+// Network is a complete Hermes mesh: routers, inter-router links and the
+// endpoints attached to Local ports. It lives in a caller-provided clock
+// domain — or, sharded, across the domains of a sim.Group, with routers
+// assigned per address and neighbour links crossing domain boundaries
+// as mirror-wire pairs.
+type Network struct {
+	cfg       Config
+	clk       *sim.Clock // primary (domain-0) clock; the only one when unsharded
+	group     *sim.Group // nil when unsharded
+	domainOf  func(Addr) int
+	routers   [][]*Router
+	endpoints map[Addr]*Endpoint
+	shards    []netShard
+}
+
 // New builds the mesh and registers every router with clk.
 func New(clk *sim.Clock, cfg Config) (*Network, error) {
+	return buildNet(clk, nil, cfg, nil)
+}
+
+// NewSharded builds the mesh across the clock domains of g, assigning
+// the router at address a to domain domainOf(a) (every value must be a
+// valid domain index). Links between routers of different domains
+// become cross-domain mirror pairs with identical cycle timing, so a
+// sharded network simulates bit-identically to an unsharded one — only
+// packet IDs (sharded per domain) and the ordering of the Completed
+// log differ. A nil domainOf places every router in domain 0.
+func NewSharded(g *sim.Group, cfg Config, domainOf func(Addr) int) (*Network, error) {
+	if domainOf == nil {
+		domainOf = func(Addr) int { return 0 }
+	}
+	return buildNet(g.Clock(0), g, cfg, domainOf)
+}
+
+// StripDomains partitions the mesh into d contiguous column strips,
+// mapping strip i to domain base+i — the standard partition for
+// sharded traffic runs (XY routing keeps most hops inside a strip).
+func StripDomains(cfg Config, d, base int) func(Addr) int {
+	return func(a Addr) int { return base + a.X*d/cfg.Width }
+}
+
+func buildNet(clk *sim.Clock, g *sim.Group, cfg Config, domainOf func(Addr) int) (*Network, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
-	n := &Network{cfg: cfg, clk: clk, endpoints: make(map[Addr]*Endpoint)}
+	shards := 1
+	if g != nil {
+		shards = g.Domains()
+	}
+	n := &Network{
+		cfg:       cfg,
+		clk:       clk,
+		group:     g,
+		domainOf:  domainOf,
+		endpoints: make(map[Addr]*Endpoint),
+		shards:    make([]netShard, shards),
+	}
 	n.routers = make([][]*Router, cfg.Width)
 	for x := 0; x < cfg.Width; x++ {
 		n.routers[x] = make([]*Router, cfg.Height)
 		for y := 0; y < cfg.Height; y++ {
-			r := newRouter(Addr{X: x, Y: y}, cfg, clk)
+			a := Addr{X: x, Y: y}
+			ck, err := n.clockAt(a)
+			if err != nil {
+				return nil, err
+			}
+			r := newRouter(a, cfg, ck)
 			n.routers[x][y] = r
-			clk.Register(r)
+			ck.Register(r)
+			r.self = ck.Handle(r)
 		}
 	}
 	// Wire neighbour links: one Link per direction per adjacent pair.
@@ -107,32 +160,57 @@ func New(clk *sim.Clock, cfg Config) (*Network, error) {
 			r := n.routers[x][y]
 			if x+1 < cfg.Width {
 				e := n.routers[x+1][y]
-				l1 := NewLink(clk, fmt.Sprintf("l%s-E", r.addr))
-				r.connectOut(East, l1)
-				e.connectIn(West, l1)
-				l2 := NewLink(clk, fmt.Sprintf("l%s-W", e.addr))
-				e.connectOut(West, l2)
-				r.connectIn(East, l2)
+				connectRouters(r, East, e, West, fmt.Sprintf("l%s-E", r.addr))
+				connectRouters(e, West, r, East, fmt.Sprintf("l%s-W", e.addr))
 			}
 			if y+1 < cfg.Height {
 				u := n.routers[x][y+1]
-				l1 := NewLink(clk, fmt.Sprintf("l%s-N", r.addr))
-				r.connectOut(North, l1)
-				u.connectIn(South, l1)
-				l2 := NewLink(clk, fmt.Sprintf("l%s-S", u.addr))
-				u.connectOut(South, l2)
-				r.connectIn(North, l2)
+				connectRouters(r, North, u, South, fmt.Sprintf("l%s-N", r.addr))
+				connectRouters(u, South, r, North, fmt.Sprintf("l%s-S", u.addr))
 			}
 		}
 	}
 	return n, nil
 }
 
+// connectRouters wires one unidirectional link from an output port of
+// src to an input port of dst, crossing clock domains when needed.
+func connectRouters(src *Router, outp Port, dst *Router, inp Port, name string) {
+	if src.clk == dst.clk {
+		l := NewLink(src.clk, name)
+		src.connectOut(outp, l)
+		dst.connectIn(inp, l)
+		return
+	}
+	s, r := NewCrossLink(src.clk, dst.clk, name)
+	src.connectOut(outp, s)
+	dst.connectIn(inp, r)
+}
+
+// clockAt resolves the clock domain owning address a.
+func (n *Network) clockAt(a Addr) (*sim.Clock, error) {
+	if n.group == nil {
+		return n.clk, nil
+	}
+	d := n.domainOf(a)
+	if d < 0 || d >= n.group.Domains() {
+		return nil, fmt.Errorf("noc: router %s mapped to domain %d of %d", a, d, n.group.Domains())
+	}
+	return n.group.Clock(d), nil
+}
+
 // Config returns the network configuration.
 func (n *Network) Config() Config { return n.cfg }
 
-// Clock returns the clock domain the network runs in.
+// Clock returns the primary clock domain (the only one when the
+// network is unsharded; domain 0 — by convention the default domain of
+// non-NoC components — otherwise). Run/RunUntil*/Quiescent calls on it
+// drive the whole group.
 func (n *Network) Clock() *sim.Clock { return n.clk }
+
+// Group returns the clock-domain group of a sharded network, nil when
+// unsharded.
+func (n *Network) Group() *sim.Group { return n.group }
 
 // Router returns the router at a, or nil when out of range.
 func (n *Network) Router(a Addr) *Router {
@@ -143,62 +221,131 @@ func (n *Network) Router(a Addr) *Router {
 }
 
 // NewEndpoint creates, wires and registers the endpoint on the Local
-// port of router a. Each router supports exactly one endpoint.
+// port of router a, in the router's own clock domain. Each router
+// supports exactly one endpoint.
 func (n *Network) NewEndpoint(a Addr) (*Endpoint, error) {
 	r := n.Router(a)
 	if r == nil {
 		return nil, fmt.Errorf("noc: no router at %s", a)
 	}
+	return n.newEndpoint(r.clk, a)
+}
+
+// NewEndpointFor is NewEndpoint with the endpoint placed in clk's
+// domain instead of the router's — for endpoints owned by an IP-core
+// component in another domain (an owner calls Send/Recv from its Eval,
+// so endpoint and owner must share a domain). The Local-port links
+// cross the boundary like any inter-router link.
+func (n *Network) NewEndpointFor(clk *sim.Clock, a Addr) (*Endpoint, error) {
+	if n.Router(a) == nil {
+		return nil, fmt.Errorf("noc: no router at %s", a)
+	}
+	return n.newEndpoint(clk, a)
+}
+
+func (n *Network) newEndpoint(clk *sim.Clock, a Addr) (*Endpoint, error) {
+	r := n.Router(a)
 	if _, dup := n.endpoints[a]; dup {
 		return nil, fmt.Errorf("noc: endpoint at %s already exists", a)
 	}
-	toRouter := NewLink(n.clk, fmt.Sprintf("l%s-Lin", a))
-	fromRouter := NewLink(n.clk, fmt.Sprintf("l%s-Lout", a))
-	r.connectIn(Local, toRouter)
-	r.connectOut(Local, fromRouter)
+	if n.group == nil && clk != n.clk {
+		return nil, fmt.Errorf("noc: endpoint clock outside the network's domain")
+	}
+	if n.group != nil && clk.Group() != n.group {
+		return nil, fmt.Errorf("noc: endpoint clock outside the network's domain group")
+	}
+	dom := clk.Domain()
+	var toRouter, fromRouter *Link // endpoint-side views
+	if clk == r.clk {
+		toRouter = NewLink(clk, fmt.Sprintf("l%s-Lin", a))
+		fromRouter = NewLink(clk, fmt.Sprintf("l%s-Lout", a))
+		r.connectIn(Local, toRouter)
+		r.connectOut(Local, fromRouter)
+	} else {
+		send, recvSide := NewCrossLink(clk, r.clk, fmt.Sprintf("l%s-Lin", a))
+		r.connectIn(Local, recvSide)
+		toRouter = send
+		outSend, outRecv := NewCrossLink(r.clk, clk, fmt.Sprintf("l%s-Lout", a))
+		r.connectOut(Local, outSend)
+		fromRouter = outRecv
+	}
 	ep := &Endpoint{
 		net:  n,
 		addr: a,
+		clk:  clk,
+		dom:  dom,
 		snd:  sender{link: toRouter},
 		rcv:  receiver{link: fromRouter},
 	}
 	sim.Watch(fromRouter.Tx, ep)
 	n.endpoints[a] = ep
-	n.clk.Register(ep)
+	clk.Register(ep)
+	ep.self = clk.Handle(ep)
 	return ep, nil
 }
 
 // Endpoint returns the endpoint at a, or nil if none was created.
 func (n *Network) Endpoint(a Addr) *Endpoint { return n.endpoints[a] }
 
-// Completed returns the metadata of every packet fully delivered so far.
-func (n *Network) Completed() []*PacketMeta { return n.completed }
+// Completed returns the metadata of every packet fully delivered so
+// far. On a sharded network the per-domain logs are concatenated in
+// domain order — deterministic, but not the global delivery order an
+// unsharded run records; consumers aggregate (sums, sorted quantiles),
+// so results are unaffected.
+func (n *Network) Completed() []*PacketMeta {
+	if len(n.shards) == 1 {
+		return n.shards[0].completed
+	}
+	var all []*PacketMeta
+	for i := range n.shards {
+		all = append(all, n.shards[i].completed...)
+	}
+	return all
+}
 
 // Delivered reports how many packets have been fully delivered.
-func (n *Network) Delivered() uint64 { return n.delivered }
+func (n *Network) Delivered() uint64 {
+	var t uint64
+	for i := range n.shards {
+		t += n.shards[i].delivered
+	}
+	return t
+}
 
 // ResetStats clears the completed-packet log and the delivered counter,
 // so rates computed after a warmup reset start from zero (router
 // counters keep accumulating; they are snapshots, not rates).
 func (n *Network) ResetStats() {
-	n.completed = nil
-	n.delivered = 0
-}
-
-func (n *Network) allocMeta(src, dst Addr, payload int) *PacketMeta {
-	n.nextPktID++
-	return &PacketMeta{
-		ID:           n.nextPktID,
-		Src:          src,
-		Dst:          dst,
-		Len:          payload + 2,
-		CreatedCycle: n.clk.Cycle(),
-		Hops:         HopCount(src, dst),
+	for i := range n.shards {
+		n.shards[i].completed = nil
+		n.shards[i].delivered = 0
 	}
 }
 
-func (n *Network) packetDelivered(m *PacketMeta) {
-	m.EjectCycle = n.clk.Cycle()
-	n.completed = append(n.completed, m)
-	n.delivered++
+// allocMeta stamps fresh packet metadata in the sending endpoint's
+// shard. Sharded IDs carry the domain index in the top bits over a
+// per-domain sequence number — deterministic for a fixed partition,
+// and identical to the unsharded numbering for domain 0.
+func (n *Network) allocMeta(e *Endpoint, dst Addr, payload int) *PacketMeta {
+	sh := &n.shards[e.dom]
+	sh.nextPktID++
+	id := sh.nextPktID
+	if e.dom > 0 {
+		id |= uint64(e.dom) << 48
+	}
+	return &PacketMeta{
+		ID:           id,
+		Src:          e.addr,
+		Dst:          dst,
+		Len:          payload + 2,
+		CreatedCycle: e.clk.Cycle(),
+		Hops:         HopCount(e.addr, dst),
+	}
+}
+
+func (n *Network) packetDelivered(e *Endpoint, m *PacketMeta) {
+	m.EjectCycle = e.clk.Cycle()
+	sh := &n.shards[e.dom]
+	sh.completed = append(sh.completed, m)
+	sh.delivered++
 }

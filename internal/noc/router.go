@@ -105,6 +105,7 @@ func (s RouterStats) TotalFlits() uint64 {
 type Router struct {
 	addr       Addr
 	clk        *sim.Clock
+	self       sim.Handle // pre-resolved wake token, set at registration
 	routing    RoutingFunc
 	routeDelay int // internal cycles per routing-algorithm execution
 	in         [numPorts]inPort
@@ -133,6 +134,10 @@ func newRouter(addr Addr, cfg Config, clk *sim.Clock) *Router {
 
 // Addr reports the router's mesh coordinates.
 func (r *Router) Addr() Addr { return r.addr }
+
+// Clock returns the clock domain the router is registered in (its
+// shard's clock on a sharded network).
+func (r *Router) Clock() *sim.Clock { return r.clk }
 
 // integrateStats adds span cycles of the registered per-port state to
 // the WaitCycles and BufferedFlitCycles integrals in s. It is the one
@@ -285,7 +290,7 @@ func (r *Router) evalControl(anyRequest bool, evalNow uint64) {
 				// The delay is a pure countdown: if every port goes
 				// quiet the router may sleep through it, so arm a
 				// timer for the completion cycle.
-				r.clk.WakeAt(c.nCompleteAt, r)
+				r.self.WakeAt(c.nCompleteAt)
 				return
 			}
 		}

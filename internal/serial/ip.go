@@ -27,10 +27,11 @@ const (
 // timer) — letting the IP sleep through the constant spans in between,
 // which the time-warp kernel then skips outright.
 type IP struct {
-	ep  *noc.Endpoint
-	clk *sim.Clock
-	utx *TX
-	urx *RX
+	ep   *noc.Endpoint
+	clk  *sim.Clock
+	self sim.Handle
+	utx  *TX
+	urx  *RX
 
 	parser      downParser
 	abState     int
@@ -47,9 +48,12 @@ type IP struct {
 
 // NewIP creates the Serial IP on the router at addr. rxd carries data
 // from the host (the system's "tx" pin in Figure 1), txd to the host.
-// The IP registers itself with the network's clock.
+// The IP registers itself with the network's primary clock — on a
+// sharded network that is domain 0, where the host and its UART lines
+// live, so its endpoint is placed there too (the Local-port links
+// cross to the router's domain like any boundary link).
 func NewIP(net *noc.Network, addr noc.Addr, rxd, txd *Line) (*IP, error) {
-	ep, err := net.NewEndpoint(addr)
+	ep, err := net.NewEndpointFor(net.Clock(), addr)
 	if err != nil {
 		return nil, err
 	}
@@ -68,6 +72,7 @@ func NewIP(net *noc.Network, addr noc.Addr, rxd, txd *Line) (*IP, error) {
 	// both for auto-baud edge measurement and for frame reception.
 	sim.Watch(rxd, ip)
 	net.Clock().Register(ip)
+	ip.self = ip.clk.Handle(ip)
 	return ip, nil
 }
 
@@ -196,7 +201,7 @@ func (ip *IP) tickAutobaud() {
 // the settle window (stale timers from interrupted runs fire as
 // harmless no-op Evals).
 func (ip *IP) armSettle() {
-	ip.clk.WakeAt(ip.abHighStart+uint64(3*ip.abDiv)-1, ip)
+	ip.self.WakeAt(ip.abHighStart + uint64(3*ip.abDiv) - 1)
 }
 
 // Commit implements sim.Component.

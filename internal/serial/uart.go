@@ -35,6 +35,7 @@ type TX struct {
 	line  *Line
 	clk   *sim.Clock
 	owner sim.Component // woken at bit edges; nil = owner must tick every cycle
+	self  sim.Handle    // owner's wake token, resolved on first use
 	div   int
 
 	queue []byte
@@ -60,7 +61,9 @@ func NewTX(line *Line, div int) *TX {
 // Bind names the component that owns (ticks) this transmitter. A bound
 // transmitter arms a WakeAt timer for the owner at every scheduled bit
 // edge, so the owner may report Idle between edges (see Dormant).
-func (t *TX) Bind(owner sim.Component) { t.owner = owner }
+// Bind may precede the owner's Clock registration; the wake handle is
+// resolved lazily on the first edge.
+func (t *TX) Bind(owner sim.Component) { t.owner, t.self = owner, sim.Handle{} }
 
 // Queue appends bytes for transmission.
 func (t *TX) Queue(bs ...byte) { t.queue = append(t.queue, bs...) }
@@ -101,9 +104,13 @@ func (t *TX) setLine(v bool) {
 }
 
 func (t *TX) wake(at uint64) {
-	if t.owner != nil {
-		t.clk.WakeAt(at, t.owner)
+	if t.owner == nil {
+		return
 	}
+	if !t.self.Valid() {
+		t.self = t.clk.Handle(t.owner)
+	}
+	t.self.WakeAt(at)
 }
 
 // drive stages the level of bit t.bitIdx, extends t.bitIdx through the
@@ -174,6 +181,7 @@ type RX struct {
 	line  *Line
 	clk   *sim.Clock
 	owner sim.Component
+	self  sim.Handle // owner's wake token, resolved on first use
 	div   int
 
 	state    int // 0 idle, 1 receiving
@@ -196,8 +204,9 @@ func NewRX(line *Line, div int) *RX {
 }
 
 // Bind names the component that owns (ticks) this receiver, enabling
-// mid-frame sleep between bit samples.
-func (r *RX) Bind(owner sim.Component) { r.owner = owner }
+// mid-frame sleep between bit samples. Bind may precede the owner's
+// Clock registration; the wake handle is resolved lazily.
+func (r *RX) Bind(owner sim.Component) { r.owner, r.self = owner, sim.Handle{} }
 
 // SetDiv sets the divisor, typically from auto-baud measurement.
 func (r *RX) SetDiv(div int) { r.div = div }
@@ -225,9 +234,13 @@ func (r *RX) Dormant() bool {
 func (r *RX) Div() int { return r.div }
 
 func (r *RX) wake(at uint64) {
-	if r.owner != nil {
-		r.clk.WakeAt(at, r.owner)
+	if r.owner == nil {
+		return
 	}
+	if !r.self.Valid() {
+		r.self = r.clk.Handle(r.owner)
+	}
+	r.self.WakeAt(at)
 }
 
 // sample consumes one mid-bit sample with the given line level,

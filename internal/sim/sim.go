@@ -89,12 +89,54 @@
 // SetTimeWarp(false) disables the jump (every cycle is stepped, as in
 // PR 1) for differential testing; dense mode never warps.
 //
+// # Clock domains and conservative parallelism
+//
+// A Clock is one clock domain: components, wires, an active set, a wake
+// queue and a timer heap of its own. A Group couples several domains
+// GALS-style — each domain is locally synchronous, and domains exchange
+// state only over mirror wires (MirrorWire), which carry a value across
+// the domain boundary with exactly the one-cycle latency an ordinary
+// wire has inside a domain. That latency is the lookahead that makes
+// conservative parallel simulation possible: a domain that has
+// completed cycle h cannot affect a neighbour before cycle h+1, so the
+// neighbour may freely simulate up to min(upstream horizons) + 1
+// without ever seeing a value out of order (null-message style, after
+// Chandy–Misra–Bryant). Within that bound each domain warps its own
+// dead spans, so an idle region skips time even while another region is
+// busy — the case a single domain can never warp.
+//
+// Group.SetParallel selects between two executions of the same
+// semantics:
+//
+//   - Serial lockstep (the default): every domain executes cycle c
+//     before any executes c+1, with a group-wide warp when every domain
+//     is dead. This is bit-for-bit identical to registering all
+//     components on one Clock — the differential reference.
+//   - Parallel: one goroutine per domain, horizons exchanged through
+//     atomics, blocked domains parking on a condition variable. Results
+//     are deterministic for a fixed partition (each domain's execution
+//     is sequential and cross-domain values apply at fixed cycles) and
+//     bit-identical to lockstep in all simulation state; only the cycle
+//     at which budgeted drains stop may overshoot, which no state
+//     observes.
+//
+// The domain/horizon contract for models: a component must interact
+// with other domains only through mirror wires (never by calling
+// methods on, waking, or arming timers for a component registered on
+// another Clock), and everything a component touches in Eval/Commit —
+// its wires, its endpoint, its RNG — must live in its own domain. A
+// model that honours the Idler contract within its domain stays
+// warpable across domain edges for free: inbound mirror events bound
+// the warp exactly like timers, so a sleeping domain executes precisely
+// the cycles on which upstream values land.
+//
 // Determinism is unaffected by any of this: the active set only ever
 // skips Evals that stage nothing and Commits that latch nothing, wakes
 // are applied at deterministic points of the cycle, warped spans are
 // provably free of state changes, and iteration stays in registration
 // order. The same seed yields bit-identical results with activity
-// scheduling on or off and with time warping on or off;
+// scheduling on or off, with time warping on or off, and with any
+// domain partition serial or parallel;
 // SetActivityScheduling(false) restores the dense reference behaviour
 // for differential testing.
 package sim
@@ -102,6 +144,7 @@ package sim
 import (
 	"errors"
 	"fmt"
+	"sync/atomic"
 )
 
 // Component is a clocked hardware block. Eval must only read wire values
@@ -170,9 +213,25 @@ type Clock struct {
 	dirty    []latcher // wires with a staged Set awaiting this edge
 	allWires []latcher // every wire, latched unconditionally in dense mode
 
-	cycle       uint64
+	cycle uint64
+	// lastActive is the most recent cycle whose step did real work
+	// (components evaluated, a wire latched, a timer fired, a mirror
+	// event arrived). A parallel RunUntilQuiescent rewinds the counters
+	// to the maximum across domains when it detects quiescence, undoing
+	// its chunk-boundary overshoot; see Group.RunUntilQuiescent.
+	lastActive  uint64
 	probes      []func(cycle uint64)
 	rangeProbes []func(from, to uint64)
+
+	// Domain coupling (nil/zero for a standalone clock). group links
+	// the clock into a Group of domains; inQ holds one event queue per
+	// upstream domain delivering mirror-wire changes; horizon publishes
+	// the completed cycle to downstream domains during parallel runs.
+	group    *Group
+	domIdx   int
+	inQ      []*crossQueue // one slot per domain; inQ[j] feeds from domain j
+	upstream []int         // domain indices that mirror wires into this one
+	horizon  atomic.Uint64
 }
 
 // NewClock returns an empty clock domain.
@@ -221,16 +280,51 @@ func (c *Clock) ProbeRange(fn func(from, to uint64)) {
 	c.rangeProbes = append(c.rangeProbes, fn)
 }
 
-// Cycle reports how many clock cycles have elapsed.
+// Cycle reports how many clock cycles have elapsed in this domain.
+// Domains of a group all simulate the same timeline; their counters
+// agree whenever the group is joined (between Run calls) and may differ
+// transiently while a parallel run is in flight.
 func (c *Clock) Cycle() uint64 { return c.cycle }
 
-// ComponentCount reports how many components are registered.
-func (c *Clock) ComponentCount() int { return len(c.comps) }
+// Domain reports the clock's index within its Group, 0 for a
+// standalone clock.
+func (c *Clock) Domain() int { return c.domIdx }
+
+// Group returns the group the clock belongs to, or nil for a
+// standalone clock.
+func (c *Clock) Group() *Group { return c.group }
+
+// ComponentCount reports how many components are registered. For a
+// clock in a Group it aggregates every domain, so harness code holding
+// any one domain keeps seeing the whole system.
+func (c *Clock) ComponentCount() int {
+	if c.group != nil {
+		t := 0
+		for _, d := range c.group.clocks {
+			t += len(d.comps)
+		}
+		return t
+	}
+	return len(c.comps)
+}
 
 // ActiveCount reports how many components will be evaluated next cycle
 // (pending wakes not yet applied). With activity scheduling disabled it
-// is the total component count.
+// is the total component count. For a clock in a Group it aggregates
+// every domain, so existing harness predicates work unchanged on
+// sharded systems.
 func (c *Clock) ActiveCount() int {
+	if c.group != nil {
+		t := 0
+		for _, d := range c.group.clocks {
+			t += d.activeCountLocal()
+		}
+		return t
+	}
+	return c.activeCountLocal()
+}
+
+func (c *Clock) activeCountLocal() int {
 	if c.dense {
 		return len(c.comps)
 	}
@@ -297,8 +391,13 @@ func (c *Clock) WakeAt(cycle uint64, comp Component) {
 	if !ok {
 		return
 	}
+	c.wakeAtIndex(cycle, i)
+}
+
+// wakeAtIndex is WakeAt for a pre-resolved component index.
+func (c *Clock) wakeAtIndex(cycle uint64, i int) {
 	if cycle <= c.cycle+1 {
-		c.Wake(comp)
+		c.wakeIndex(i)
 		return
 	}
 	if c.lastArmed[i] == cycle {
@@ -314,6 +413,46 @@ func (c *Clock) WakeAt(cycle uint64, comp Component) {
 		}
 		c.timers[parent], c.timers[j] = c.timers[j], c.timers[parent]
 		j = parent
+	}
+}
+
+// Handle is a pre-resolved wake token for one registered component: the
+// result of the Clock's map lookup, captured once so hot paths (a
+// router arming its routing-delay deadline, a UART arming a bit edge, a
+// traffic injector arming its next packet) wake without a per-event map
+// lookup. The zero Handle is invalid and all its methods are no-ops.
+type Handle struct {
+	clk *Clock
+	idx int
+}
+
+// Handle resolves comp to a wake token. An unregistered or nil
+// component yields the invalid zero Handle.
+func (c *Clock) Handle(comp Component) Handle {
+	if comp == nil {
+		return Handle{}
+	}
+	i, ok := c.index[comp]
+	if !ok {
+		return Handle{}
+	}
+	return Handle{clk: c, idx: i}
+}
+
+// Valid reports whether the handle names a registered component.
+func (h Handle) Valid() bool { return h.clk != nil }
+
+// Wake is Clock.Wake without the map lookup.
+func (h Handle) Wake() {
+	if h.clk != nil {
+		h.clk.wakeIndex(h.idx)
+	}
+}
+
+// WakeAt is Clock.WakeAt without the map lookup.
+func (h Handle) WakeAt(cycle uint64) {
+	if h.clk != nil {
+		h.clk.wakeAtIndex(cycle, h.idx)
 	}
 }
 
@@ -381,8 +520,18 @@ func (c *Clock) applyWakes() {
 }
 
 // PendingTimers reports how many WakeAt timers are armed (after
-// coalescing). It exists for tests and diagnostics.
-func (c *Clock) PendingTimers() int { return len(c.timers) }
+// coalescing). It exists for tests and diagnostics. For a clock in a
+// Group it aggregates every domain.
+func (c *Clock) PendingTimers() int {
+	if c.group != nil {
+		t := 0
+		for _, d := range c.group.clocks {
+			t += len(d.timers)
+		}
+		return t
+	}
+	return len(c.timers)
+}
 
 // warpUnbounded caps nothing: Step outside Run/RunUntil has no cycle
 // budget and may jump to any armed timer.
@@ -405,13 +554,57 @@ func (c *Clock) warp(limit uint64) {
 	if len(c.timers) > 0 && c.timers[0].cycle < target {
 		target = c.timers[0].cycle
 	}
+	if c.inQ != nil {
+		if b := c.inboundBound(); b < target {
+			target = b
+		}
+	}
 	if target == warpUnbounded || target <= c.cycle+1 {
 		return
 	}
+	c.jumpTo(target)
+}
+
+// jumpTo moves the counter so the next executed step ends at target,
+// reporting the skipped span to ProbeRange hooks. Callers must have
+// established that the span is dead.
+func (c *Clock) jumpTo(target uint64) {
 	from := c.cycle + 1
 	c.cycle = target - 1
 	for _, p := range c.rangeProbes {
 		p(from, target-1)
+	}
+}
+
+// inboundBound caps a warp at the first pending mirror-wire event: an
+// event latched upstream at cycle k is delivered at the end of this
+// domain's step ending at k (between stepCore and stepFinish), so that
+// step must execute. Like timers, inbound events bound the warp rather
+// than forbid it.
+func (c *Clock) inboundBound() uint64 {
+	b := warpUnbounded
+	for _, q := range c.inQ {
+		if q == nil {
+			continue
+		}
+		if k, ok := q.peekCycle(); ok && k < b {
+			b = k
+		}
+	}
+	return b
+}
+
+// drainInbound applies every pending mirror-wire event latched at or
+// before the just-completed cycle. It runs between stepCore and
+// stepFinish — after every producer has latched the cycle — so the
+// mirrored value is visible to this cycle's probes on the latch tick
+// itself, and the mirror's watchers are woken into pending, evaluating
+// next cycle: exactly the timing of a local wire latched this cycle.
+func (c *Clock) drainInbound() {
+	for _, q := range c.inQ {
+		if q != nil && q.drainTo(c.cycle) {
+			c.lastActive = c.cycle
+		}
 	}
 }
 
@@ -424,12 +617,28 @@ func (c *Clock) warp(limit uint64) {
 // active set, Commit it, latch staged wires, then retire idle
 // components.
 func (c *Clock) Step() {
+	if c.group != nil {
+		c.group.Step()
+		return
+	}
 	c.warp(warpUnbounded)
 	c.step()
 }
 
-// step executes exactly one clock cycle.
+// step executes exactly one clock cycle. Grouped domains run the two
+// halves with a mirror-event drain in between (see stepCore).
 func (c *Clock) step() {
+	c.stepCore()
+	c.stepFinish()
+}
+
+// stepCore is the state-changing half of a cycle: wake, Eval, Commit,
+// latch, advance the counter. For a grouped domain the group runner
+// inserts the inbound mirror-event drain between stepCore and
+// stepFinish — once every producer has latched this cycle — so the
+// cycle's probes observe mirrored values on exactly the tick the
+// source domain latched them, as an unsharded probe would.
+func (c *Clock) stepCore() {
 	if c.dense {
 		// Timers have no activation effect in dense mode (everything is
 		// already active) but due ones must still pop so Quiescent sees
@@ -449,11 +658,11 @@ func (c *Clock) step() {
 		}
 		c.dirty = c.dirty[:0]
 		c.cycle++
-		for _, p := range c.probes {
-			p(c.cycle)
-		}
+		c.lastActive = c.cycle // dense cycles always count as work
 		return
 	}
+	busy := len(c.activeList) != 0 || len(c.pending) != 0 || len(c.dirty) != 0 ||
+		(len(c.timers) > 0 && c.timers[0].cycle <= c.cycle+1)
 	c.applyWakes()
 	// Explicit index loops: a Wake during the Eval phase appends to
 	// activeList, and the appended component must still be visited —
@@ -477,8 +686,19 @@ func (c *Clock) step() {
 		c.dirty = c.dirty[:0]
 	}
 	c.cycle++
+	if busy {
+		c.lastActive = c.cycle
+	}
+}
+
+// stepFinish is the observing half of a cycle: probes, then idle
+// retirement.
+func (c *Clock) stepFinish() {
 	for _, p := range c.probes {
 		p(c.cycle)
+	}
+	if c.dense {
+		return
 	}
 	for k := 0; k < len(c.activeList); {
 		i := c.activeList[k]
@@ -497,6 +717,10 @@ func (c *Clock) step() {
 // Dead spans inside the window are warped over (never past the window's
 // end), so the number of executed steps may be far smaller than n.
 func (c *Clock) Run(n uint64) {
+	if c.group != nil {
+		c.group.Run(n)
+		return
+	}
 	target := c.cycle + n
 	for c.cycle < target {
 		c.warp(target)
@@ -514,6 +738,9 @@ var ErrTimeout = errors.New("sim: watchdog timeout")
 // time warping cannot change state, so a predicate over simulation
 // state flips at exactly the same cycle either way.
 func (c *Clock) RunUntil(pred func() bool, maxCycles uint64) error {
+	if c.group != nil {
+		return c.group.RunUntil(pred, maxCycles)
+	}
 	target := c.cycle + maxCycles
 	for c.cycle < target {
 		c.warp(target)
@@ -536,8 +763,25 @@ func (c *Clock) RunUntil(pred func() bool, maxCycles uint64) error {
 // simulation stays correct; only Quiescent/RunUntilQuiescent are
 // unavailable and callers fall back to their cycle budgets).
 func (c *Clock) Quiescent() bool {
+	if c.group != nil {
+		return c.group.Quiescent()
+	}
+	return c.quiescentLocal()
+}
+
+// quiescentLocal is the single-domain quiescence test; a grouped domain
+// is additionally held awake by undelivered inbound mirror events.
+func (c *Clock) quiescentLocal() bool {
 	if len(c.dirty) > 0 {
 		return false
+	}
+	for _, q := range c.inQ {
+		if q == nil {
+			continue
+		}
+		if _, pending := q.peekCycle(); pending {
+			return false
+		}
 	}
 	if c.dense {
 		if len(c.timers) != 0 {
@@ -559,15 +803,18 @@ func (c *Clock) Quiescent() bool {
 // everything drained" idiom: drivers stop exactly when the hardware
 // does, without polling a predicate every cycle.
 func (c *Clock) RunUntilQuiescent(maxCycles uint64) error {
+	if c.group != nil {
+		return c.group.RunUntilQuiescent(maxCycles)
+	}
 	target := c.cycle + maxCycles
 	for c.cycle < target {
-		if c.Quiescent() {
+		if c.quiescentLocal() {
 			return nil
 		}
 		c.warp(target)
 		c.step()
 	}
-	if c.Quiescent() {
+	if c.quiescentLocal() {
 		return nil
 	}
 	return fmt.Errorf("%w: not quiescent after %d cycles", ErrTimeout, maxCycles)

@@ -86,6 +86,16 @@ type Config struct {
 	// way (see TestTimeWarpMatchesNoWarp); the option exists for
 	// differential tests and speedup benchmarks.
 	NoTimeWarp bool
+	// Domains shards the mesh into that many clock domains (contiguous
+	// column strips); 0 or 1 builds the classic single-domain network.
+	// Sharding alone does not change results: the cross-domain links
+	// keep identical cycle timing.
+	Domains int
+	// Parallel runs the sharded domains on one goroutine each under
+	// the kernel's conservative horizon protocol (requires Domains >
+	// 1 to have any effect). Results are bit-identical to the serial
+	// lockstep run of the same partition.
+	Parallel bool
 }
 
 // Result reports a load experiment.
@@ -115,6 +125,7 @@ type Result struct {
 // modes.
 type injector struct {
 	clk      *sim.Clock
+	self     sim.Handle // pre-resolved wake token for timer re-arming
 	ep       *noc.Endpoint
 	rng      *sim.Rand
 	pattern  Pattern
@@ -147,7 +158,7 @@ func (in *injector) schedule(now uint64) {
 		return
 	}
 	in.next = now + gap
-	in.clk.WakeAt(in.next, in)
+	in.self.WakeAt(in.next)
 }
 
 // Eval implements sim.Component.
@@ -192,10 +203,27 @@ func Run(ncfg noc.Config, tcfg Config) (Result, error) {
 	if tcfg.PayloadFlits <= 0 {
 		return Result{}, fmt.Errorf("traffic: payload must be positive")
 	}
-	clk := sim.NewClock()
-	clk.SetActivityScheduling(!tcfg.DenseKernel)
-	clk.SetTimeWarp(!tcfg.NoTimeWarp)
-	net, err := noc.New(clk, ncfg)
+	var (
+		clk *sim.Clock
+		net *noc.Network
+		err error
+	)
+	if tcfg.Domains > 1 {
+		// Sharded build: contiguous column strips, one clock domain per
+		// strip, each injector registered in its endpoint's domain so
+		// its RNG stream and timer heap stay domain-local.
+		g := sim.NewGroup(tcfg.Domains)
+		g.SetActivityScheduling(!tcfg.DenseKernel)
+		g.SetTimeWarp(!tcfg.NoTimeWarp)
+		g.SetParallel(tcfg.Parallel)
+		net, err = noc.NewSharded(g, ncfg, noc.StripDomains(ncfg, tcfg.Domains, 0))
+		clk = g.Clock(0)
+	} else {
+		clk = sim.NewClock()
+		clk.SetActivityScheduling(!tcfg.DenseKernel)
+		clk.SetTimeWarp(!tcfg.NoTimeWarp)
+		net, err = noc.New(clk, ncfg)
+	}
 	if err != nil {
 		return Result{}, err
 	}
@@ -208,7 +236,7 @@ func Run(ncfg noc.Config, tcfg Config) (Result, error) {
 				return Result{}, err
 			}
 			in := &injector{
-				clk:      clk,
+				clk:      ep.Clock(),
 				ep:       ep,
 				rng:      sim.NewRand(tcfg.Seed + uint64(x*31+y)),
 				pattern:  tcfg.Pattern,
@@ -222,7 +250,8 @@ func Run(ncfg noc.Config, tcfg Config) (Result, error) {
 				measureTo:   warmup + measure,
 				lastAt:      warmup + measure,
 			}
-			clk.Register(in)
+			in.clk.Register(in)
+			in.self = in.clk.Handle(in)
 			in.schedule(0)
 			injectors = append(injectors, in)
 		}
