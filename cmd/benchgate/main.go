@@ -4,22 +4,27 @@
 //
 // Usage:
 //
-//	benchgate -base BENCH_PR2.json -new BENCH_NEW.json
+//	benchgate -base BENCH_BASELINE.json -new BENCH_NEW.json
 //	benchgate -base old.json -new new.json -metric simcycles/sec -threshold 0.15
 //
 // Benchmarks are matched by name; only those present in both files and
-// carrying the metric are compared. The metric is
-// higher-is-better (simulated cycles per wall-clock second); a new
-// value below (1 - threshold) x base is a regression. Benchmarks that
-// appear only on one side are reported but never fail the gate, so
-// baselines from earlier PRs remain usable as the suite grows.
+// carrying the metric are compared. The metric is higher-is-better
+// (simulated cycles per wall-clock second); a new value below
+// (1 - threshold) x base is a regression. Benchmarks that appear on
+// only one side — renamed, retired, or newly added since the baseline
+// was committed — are reported but never fail the gate, so baselines
+// from earlier PRs remain usable as the suite evolves. A baseline with
+// nothing comparable at all is likewise a warning, not an error: a
+// stale baseline should prompt a refresh, not block unrelated work.
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"sort"
 )
 
 // Entry mirrors cmd/benchjson's output format.
@@ -49,6 +54,57 @@ func load(path string) (map[string]Entry, error) {
 	return m, nil
 }
 
+// gate compares candidate against baseline on one metric, writing the
+// per-benchmark report to out. The exit status is 1 when any common
+// benchmark regressed past the threshold and 0 otherwise — including
+// when nothing was comparable, which only earns a warning.
+func gate(base, cand map[string]Entry, metric string, threshold float64, out io.Writer) int {
+	names := make([]string, 0, len(base))
+	for name := range base {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	compared, regressed := 0, 0
+	for _, name := range names {
+		bv, ok := base[name].Metrics[metric]
+		if !ok || bv <= 0 {
+			continue
+		}
+		c, ok := cand[name]
+		if !ok {
+			fmt.Fprintf(out, "MISSING  %-60s (baseline only — stale entry, skipped)\n", name)
+			continue
+		}
+		cv, ok := c.Metrics[metric]
+		if !ok {
+			fmt.Fprintf(out, "MISSING  %-60s (no %s in candidate, skipped)\n", name, metric)
+			continue
+		}
+		compared++
+		change := cv/bv - 1
+		status := "OK      "
+		if cv < bv*(1-threshold) {
+			status = "REGRESS "
+			regressed++
+		}
+		fmt.Fprintf(out, "%s %-60s base %14.0f  new %14.0f  %+6.1f%%\n",
+			status, name, bv, cv, 100*change)
+	}
+	switch {
+	case compared == 0:
+		fmt.Fprintf(out, "benchgate: WARNING: no comparable benchmarks with metric %q — baseline is stale, refresh it\n", metric)
+		return 0
+	case regressed > 0:
+		fmt.Fprintf(out, "benchgate: %d of %d benchmarks regressed more than %.0f%%\n",
+			regressed, compared, 100*threshold)
+		return 1
+	default:
+		fmt.Fprintf(out, "benchgate: %d benchmarks within %.0f%% of baseline\n", compared, 100*threshold)
+		return 0
+	}
+}
+
 func main() {
 	basePath := flag.String("base", "", "baseline benchjson file")
 	newPath := flag.String("new", "", "candidate benchjson file")
@@ -69,41 +125,5 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchgate:", err)
 		os.Exit(2)
 	}
-
-	compared, regressed := 0, 0
-	for name, b := range base {
-		bv, ok := b.Metrics[*metric]
-		if !ok || bv <= 0 {
-			continue
-		}
-		c, ok := cand[name]
-		if !ok {
-			fmt.Printf("MISSING  %-60s (baseline only)\n", name)
-			continue
-		}
-		cv, ok := c.Metrics[*metric]
-		if !ok {
-			fmt.Printf("MISSING  %-60s (no %s in candidate)\n", name, *metric)
-			continue
-		}
-		compared++
-		change := cv/bv - 1
-		status := "OK      "
-		if cv < bv*(1-*threshold) {
-			status = "REGRESS "
-			regressed++
-		}
-		fmt.Printf("%s %-60s base %14.0f  new %14.0f  %+6.1f%%\n",
-			status, name, bv, cv, 100*change)
-	}
-	if compared == 0 {
-		fmt.Fprintf(os.Stderr, "benchgate: no comparable benchmarks with metric %q\n", *metric)
-		os.Exit(2)
-	}
-	if regressed > 0 {
-		fmt.Fprintf(os.Stderr, "benchgate: %d of %d benchmarks regressed more than %.0f%%\n",
-			regressed, compared, 100**threshold)
-		os.Exit(1)
-	}
-	fmt.Printf("benchgate: %d benchmarks within %.0f%% of baseline\n", compared, 100**threshold)
+	os.Exit(gate(base, cand, *metric, *threshold, os.Stdout))
 }

@@ -1,0 +1,87 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func entry(name string, metrics map[string]float64) Entry {
+	return Entry{Name: name, Iterations: 3, Metrics: metrics}
+}
+
+func asMap(es ...Entry) map[string]Entry {
+	m := make(map[string]Entry, len(es))
+	for _, e := range es {
+		m[e.Name] = e
+	}
+	return m
+}
+
+func TestGatePassesWithinThreshold(t *testing.T) {
+	base := asMap(entry("BenchmarkA", map[string]float64{"simcycles/sec": 1000}))
+	cand := asMap(entry("BenchmarkA", map[string]float64{"simcycles/sec": 900}))
+	var out strings.Builder
+	if code := gate(base, cand, "simcycles/sec", 0.15, &out); code != 0 {
+		t.Fatalf("10%% slowdown under a 15%% threshold: exit %d\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "OK") {
+		t.Errorf("report missing OK line:\n%s", out.String())
+	}
+}
+
+func TestGateFailsOnRegression(t *testing.T) {
+	base := asMap(
+		entry("BenchmarkA", map[string]float64{"simcycles/sec": 1000}),
+		entry("BenchmarkB", map[string]float64{"simcycles/sec": 1000}),
+	)
+	cand := asMap(
+		entry("BenchmarkA", map[string]float64{"simcycles/sec": 1000}),
+		entry("BenchmarkB", map[string]float64{"simcycles/sec": 500}),
+	)
+	var out strings.Builder
+	if code := gate(base, cand, "simcycles/sec", 0.15, &out); code != 1 {
+		t.Fatalf("50%% regression: exit %d, want 1\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "REGRESS ") || !strings.Contains(out.String(), "BenchmarkB") {
+		t.Errorf("report missing regression line:\n%s", out.String())
+	}
+}
+
+func TestGateSkipsStaleBaselineEntries(t *testing.T) {
+	// A baseline naming benchmarks that no longer exist (renamed or
+	// retired since it was committed) warns and skips them; the gate
+	// still judges what remains comparable.
+	base := asMap(
+		entry("BenchmarkGone", map[string]float64{"simcycles/sec": 1000}),
+		entry("BenchmarkKept", map[string]float64{"simcycles/sec": 1000}),
+	)
+	cand := asMap(entry("BenchmarkKept", map[string]float64{"simcycles/sec": 1100}))
+	var out strings.Builder
+	if code := gate(base, cand, "simcycles/sec", 0.15, &out); code != 0 {
+		t.Fatalf("stale entry hard-failed the gate: exit %d\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "MISSING") || !strings.Contains(out.String(), "BenchmarkGone") {
+		t.Errorf("stale entry not reported:\n%s", out.String())
+	}
+}
+
+func TestGateWarnsWhenNothingComparable(t *testing.T) {
+	// An entirely stale baseline (every benchmark renamed, or the
+	// metric missing) is a warning, not a CI failure.
+	base := asMap(entry("BenchmarkOld", map[string]float64{"simcycles/sec": 1000}))
+	cand := asMap(entry("BenchmarkNew", map[string]float64{"simcycles/sec": 1000}))
+	var out strings.Builder
+	if code := gate(base, cand, "simcycles/sec", 0.15, &out); code != 0 {
+		t.Fatalf("empty comparison: exit %d, want 0 (warn only)\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "WARNING") {
+		t.Errorf("no warning in report:\n%s", out.String())
+	}
+	// Same when the baseline lacks the gated metric everywhere.
+	base = asMap(entry("BenchmarkA", map[string]float64{"ns/op": 5}))
+	cand = asMap(entry("BenchmarkA", map[string]float64{"ns/op": 5}))
+	out.Reset()
+	if code := gate(base, cand, "simcycles/sec", 0.15, &out); code != 0 {
+		t.Fatalf("metric-free baseline: exit %d, want 0\n%s", code, out.String())
+	}
+}

@@ -42,6 +42,19 @@
 // deterministic for a fixed partition and reproduces the lockstep
 // results exactly.
 //
+// On top of the kernel sits the design-space sweep service
+// (internal/sweep, cmd/sweepd): an HTTP server that takes batches of
+// serializable simulation configs (experiments.TrafficJob), runs each
+// on its own independent Clock or Group across a worker pool, and
+// journals every result. The service is built to survive its own
+// workload — a panicking model becomes a failed-job record with the
+// captured stack, runaway configs hit wall-clock and simulated-cycle
+// deadlines (enforced inside the kernel via Clock.SetCancel),
+// transient failures retry with backoff, a full queue sheds idle
+// batches or pushes back with 429, and a crash-safe journal lets a
+// restarted server resume unfinished jobs while serving finished ones
+// from a dedupe cache keyed by (canonical config, seed, code version).
+//
 // See README.md for a tour, DESIGN.md for the system inventory and
 // experiment index, and EXPERIMENTS.md for paper-vs-measured results.
 // The benchmarks in bench_test.go regenerate every experiment; the

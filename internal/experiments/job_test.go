@@ -1,0 +1,106 @@
+package experiments
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"testing"
+
+	"repro/internal/traffic"
+)
+
+func TestTrafficJobCanonicalIsStable(t *testing.T) {
+	// Canonicalization is idempotent and erases the execution-strategy
+	// flag, so jobs differing only in Parallel share an identity.
+	j := TrafficJob{Rate: 0.05, Seed: 3, Parallel: true}
+	c := j.Canonical()
+	if c != c.Canonical() {
+		t.Fatalf("Canonical not idempotent: %+v vs %+v", c, c.Canonical())
+	}
+	if c.Parallel {
+		t.Fatal("Canonical kept Parallel")
+	}
+	serial := TrafficJob{Rate: 0.05, Seed: 3}
+	if c != serial.Canonical() {
+		t.Fatalf("parallel and serial jobs canonicalize differently:\n%+v\n%+v", c, serial.Canonical())
+	}
+}
+
+func TestTrafficJobSurvivesJSONRoundTrip(t *testing.T) {
+	j := TrafficJob{
+		Width: 6, Height: 4, Routing: "yx", Pattern: "hotspot",
+		HotspotX: 2, HotspotY: 1, HotspotFraction: 0.3,
+		Rate: 0.08, PayloadFlits: 4, Seed: 42, Measure: 1500, Domains: 2,
+	}
+	bs, err := json.Marshal(j)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	var back TrafficJob
+	if err := json.Unmarshal(bs, &back); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if back != j {
+		t.Fatalf("round trip changed the job:\n got %+v\nwant %+v", back, j)
+	}
+}
+
+func TestTrafficJobValidate(t *testing.T) {
+	if err := (TrafficJob{Rate: 0.05, Seed: 1}).Validate(); err != nil {
+		t.Fatalf("default job rejected: %v", err)
+	}
+	bad := []TrafficJob{
+		{Rate: -0.1},
+		{Rate: 0.05, Width: -3},
+		{Rate: 0.05, Width: 40},
+		{Rate: 0.05, Routing: "zigzag"},
+		{Rate: 0.05, Pattern: "nope"},
+		{Rate: 0.05, Pattern: "hotspot", HotspotX: 99},
+		{Rate: 0.05, Pattern: "hotspot", HotspotFraction: 2},
+		{Rate: 0.05, Measure: -5},
+		{Rate: 0.05, Domains: 100},
+		{Rate: 0.05, FlitBits: 13},
+	}
+	for i, j := range bad {
+		if err := j.Validate(); err == nil {
+			t.Errorf("case %d: Validate accepted %+v", i, j)
+		}
+	}
+}
+
+func TestTrafficJobRunMatchesDirectTrafficRun(t *testing.T) {
+	j := TrafficJob{
+		Width: 4, Height: 4, Rate: 0.05, PayloadFlits: 4, Seed: 9,
+		Warmup: 200, Measure: 1000, Drain: 5000,
+	}
+	got, err := j.Run(context.Background(), 0)
+	if err != nil {
+		t.Fatalf("job run: %v", err)
+	}
+	ncfg, err := j.NoCConfig()
+	if err != nil {
+		t.Fatalf("NoCConfig: %v", err)
+	}
+	want, err := traffic.Run(ncfg, traffic.Config{
+		Rate: 0.05, PayloadFlits: 4, Seed: 9,
+		Warmup: 200, Measure: 1000, Drain: 5000,
+	})
+	if err != nil {
+		t.Fatalf("direct run: %v", err)
+	}
+	if got != want {
+		t.Fatalf("adapter diverged from direct run:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+func TestTrafficJobRunHonoursBudgets(t *testing.T) {
+	j := TrafficJob{Width: 8, Height: 8, Rate: 0.05, Seed: 2, Measure: 1_000_000}
+	if _, err := j.Run(context.Background(), 3000); !errors.Is(err, traffic.ErrCycleBudget) {
+		t.Fatalf("cycle budget: Run = %v, want ErrCycleBudget", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := j.Run(ctx, 0); !errors.Is(err, context.Canceled) {
+		t.Fatalf("wall clock: Run = %v, want context.Canceled", err)
+	}
+}

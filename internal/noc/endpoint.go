@@ -54,9 +54,14 @@ func (e *Endpoint) Addr() Addr { return e.addr }
 // which lets it implement sim.Idler and sleep between packets.
 func (e *Endpoint) SetOwner(c sim.Component) { e.owner = c }
 
-// Send stages a packet for injection. The payload length must not
-// exceed MaxPayload for the network's flit width.
+// Send stages a packet for injection. The destination must be a router
+// of the mesh and the payload length must not exceed MaxPayload for the
+// network's flit width.
 func (e *Endpoint) Send(dst Addr, payload []uint16) (*PacketMeta, error) {
+	if dst.X < 0 || dst.X >= e.net.cfg.Width || dst.Y < 0 || dst.Y >= e.net.cfg.Height {
+		return nil, fmt.Errorf("noc: destination %s outside the %dx%d mesh",
+			dst, e.net.cfg.Width, e.net.cfg.Height)
+	}
 	if len(payload) > MaxPayload(e.net.cfg.FlitBits) {
 		return nil, fmt.Errorf("noc: payload of %d flits exceeds max %d",
 			len(payload), MaxPayload(e.net.cfg.FlitBits))

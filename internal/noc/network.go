@@ -53,7 +53,11 @@ func (c Config) internalRouteDelay() int {
 	return d
 }
 
-func (c Config) validate() error {
+// Validate reports the first invalid field of the configuration, nil
+// when it is usable. Constructors call it themselves; services that
+// accept configurations from the network call it up front to turn a
+// malformed request into a client error instead of a recovered crash.
+func (c Config) Validate() error {
 	switch {
 	case c.Width < 1 || c.Height < 1:
 		return fmt.Errorf("noc: invalid mesh %dx%d", c.Width, c.Height)
@@ -110,6 +114,9 @@ func New(clk *sim.Clock, cfg Config) (*Network, error) {
 // packet IDs (sharded per domain) and the ordering of the Completed
 // log differ. A nil domainOf places every router in domain 0.
 func NewSharded(g *sim.Group, cfg Config, domainOf func(Addr) int) (*Network, error) {
+	if g == nil {
+		return nil, fmt.Errorf("noc: NewSharded with nil group")
+	}
 	if domainOf == nil {
 		domainOf = func(Addr) int { return 0 }
 	}
@@ -124,7 +131,7 @@ func StripDomains(cfg Config, d, base int) func(Addr) int {
 }
 
 func buildNet(clk *sim.Clock, g *sim.Group, cfg Config, domainOf func(Addr) int) (*Network, error) {
-	if err := cfg.validate(); err != nil {
+	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
 	shards := 1

@@ -1,0 +1,61 @@
+package noc
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestSendRejectsOffMeshDestination(t *testing.T) {
+	clk := sim.NewClock()
+	net, err := New(clk, Defaults(3, 3))
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	ep, err := net.NewEndpoint(Addr{X: 0, Y: 0})
+	if err != nil {
+		t.Fatalf("NewEndpoint: %v", err)
+	}
+	for _, dst := range []Addr{{X: 3, Y: 0}, {X: 0, Y: 3}, {X: -1, Y: 0}, {X: 0, Y: -1}} {
+		if _, err := ep.Send(dst, make([]uint16, 4)); err == nil {
+			t.Errorf("Send to off-mesh %s accepted", dst)
+		}
+	}
+	if _, err := ep.Send(Addr{X: 2, Y: 2}, make([]uint16, 4)); err != nil {
+		t.Errorf("Send to valid corner rejected: %v", err)
+	}
+}
+
+func TestNewShardedRejectsNilGroupAndBadDomains(t *testing.T) {
+	if _, err := NewSharded(nil, Defaults(4, 4), nil); err == nil {
+		t.Error("NewSharded accepted a nil group")
+	}
+	g := sim.NewGroup(2)
+	if _, err := NewSharded(g, Defaults(4, 4), func(Addr) int { return 7 }); err == nil {
+		t.Error("NewSharded accepted an out-of-range domain mapping")
+	}
+	if _, err := NewSharded(sim.NewGroup(2), Defaults(4, 4), func(Addr) int { return -1 }); err == nil {
+		t.Error("NewSharded accepted a negative domain mapping")
+	}
+}
+
+func TestConfigValidateExported(t *testing.T) {
+	if err := Defaults(4, 4).Validate(); err != nil {
+		t.Errorf("Defaults invalid: %v", err)
+	}
+	bad := []Config{
+		{},
+		Defaults(0, 4),
+		Defaults(4, 0),
+		Defaults(17, 4),
+		{Width: 4, Height: 4, FlitBits: 9, BufDepth: 2, RouteCycles: 14, Routing: RouteXY},
+		{Width: 4, Height: 4, FlitBits: 8, BufDepth: 0, RouteCycles: 14, Routing: RouteXY},
+		{Width: 4, Height: 4, FlitBits: 8, BufDepth: 2, RouteCycles: 2, Routing: RouteXY},
+		{Width: 4, Height: 4, FlitBits: 8, BufDepth: 2, RouteCycles: 14, Routing: nil},
+	}
+	for i, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("case %d: Validate accepted %+v", i, cfg)
+		}
+	}
+}

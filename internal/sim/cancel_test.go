@@ -1,0 +1,181 @@
+package sim
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+)
+
+// ticker is a component that never sleeps, keeping its domain busy so
+// run loops execute every cycle.
+type ticker struct{ evals int }
+
+func (t *ticker) Name() string { return "ticker" }
+func (t *ticker) Eval()        { t.evals++ }
+func (t *ticker) Commit()      {}
+
+// napper sleeps forever on a far-future timer, so its domain is dead
+// and every run warps.
+type napper struct {
+	clk   *Clock
+	armed bool
+}
+
+func (n *napper) Name() string { return "napper" }
+func (n *napper) Eval() {
+	if !n.armed {
+		n.armed = true
+		n.clk.WakeAt(n.clk.Cycle()+1_000_000_000, n)
+	}
+}
+func (n *napper) Commit()    {}
+func (n *napper) Idle() bool { return n.armed }
+
+func TestCancelStopsRunEarly(t *testing.T) {
+	clk := NewClock()
+	tk := &ticker{}
+	clk.Register(tk)
+	var calls int
+	clk.SetCancel(func() bool {
+		calls++
+		return calls >= 3
+	})
+	clk.Run(1_000_000)
+	if clk.Cycle() >= 1_000_000 {
+		t.Fatalf("run was not cancelled: cycle %d", clk.Cycle())
+	}
+	// The hook fires on the first step and then every stride steps, so
+	// the third call lands within three strides.
+	if max := uint64(3 * cancelCheckStride); clk.Cycle() > max {
+		t.Fatalf("cancel observed after %d cycles, want <= %d", clk.Cycle(), max)
+	}
+}
+
+func TestCancelRunUntilReturnsErrCanceled(t *testing.T) {
+	clk := NewClock()
+	clk.Register(&ticker{})
+	clk.SetCancel(func() bool { return true })
+	err := clk.RunUntil(func() bool { return false }, 1_000_000)
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("RunUntil = %v, want ErrCanceled", err)
+	}
+	err = clk.RunUntilQuiescent(1_000_000)
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("RunUntilQuiescent = %v, want ErrCanceled", err)
+	}
+}
+
+func TestCancelQuiescencePreemptsCancellation(t *testing.T) {
+	// A domain that is already quiescent reports success even with a
+	// triggered hook: the drain finished, cancellation has nothing to
+	// stop.
+	clk := NewClock()
+	clk.SetCancel(func() bool { return true })
+	if err := clk.RunUntilQuiescent(1000); err != nil {
+		t.Fatalf("RunUntilQuiescent on quiescent clock = %v, want nil", err)
+	}
+}
+
+func TestCancelContextHook(t *testing.T) {
+	clk := NewClock()
+	clk.Register(&ticker{})
+	ctx, cancel := context.WithCancel(context.Background())
+	clk.SetCancel(func() bool { return ctx.Err() != nil })
+	clk.Run(500) // uncancelled: runs to completion
+	if clk.Cycle() != 500 {
+		t.Fatalf("cycle %d before cancel, want 500", clk.Cycle())
+	}
+	cancel()
+	clk.Run(1_000_000)
+	if clk.Cycle() >= 500+uint64(cancelCheckStride) {
+		t.Fatalf("cancelled run advanced to %d", clk.Cycle())
+	}
+}
+
+func TestCancelCycleBudgetHookWithWarp(t *testing.T) {
+	// A cycle-budget hook bounds a warping run too: the warp jumps to
+	// the armed timer inside the Run window and the next hook check
+	// observes the budget exceeded.
+	clk := NewClock()
+	n := &napper{clk: clk}
+	clk.Register(n)
+	const budget = 10_000
+	clk.SetCancel(func() bool { return clk.Cycle() >= budget })
+	err := clk.RunUntil(func() bool { return false }, 1_000_000_000_000)
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("RunUntil = %v, want ErrCanceled", err)
+	}
+	if clk.Cycle() > 1_000_000_001 {
+		t.Fatalf("budgeted run escaped to cycle %d", clk.Cycle())
+	}
+}
+
+func TestCancelClearHook(t *testing.T) {
+	clk := NewClock()
+	clk.Register(&ticker{})
+	clk.SetCancel(func() bool { return true })
+	clk.SetCancel(nil)
+	clk.Run(100)
+	if clk.Cycle() != 100 {
+		t.Fatalf("cycle %d after clearing hook, want 100", clk.Cycle())
+	}
+}
+
+// groupPair builds a two-domain group with a mirror wire from domain 0
+// to domain 1 and a ticker in each, so both domains stay busy and the
+// parallel horizon protocol is exercised.
+func groupPair(t *testing.T) (*Group, *ticker, *ticker) {
+	t.Helper()
+	g := NewGroup(2)
+	t0, t1 := &ticker{}, &ticker{}
+	g.Clock(0).Register(t0)
+	g.Clock(1).Register(t1)
+	MirrorWire(NewWire(g.Clock(0), "x", false), g.Clock(1))
+	return g, t0, t1
+}
+
+func TestCancelGroupLockstep(t *testing.T) {
+	g, _, _ := groupPair(t)
+	var n atomic.Int64
+	g.SetCancel(func() bool { return n.Add(1) >= 4 })
+	g.Run(1_000_000)
+	if g.Cycle() >= 1_000_000 {
+		t.Fatalf("lockstep run not cancelled: cycle %d", g.Cycle())
+	}
+	if err := g.RunUntil(func() bool { return false }, 1_000_000); !errors.Is(err, ErrCanceled) {
+		t.Fatalf("group RunUntil = %v, want ErrCanceled", err)
+	}
+}
+
+func TestCancelGroupParallelNoDeadlock(t *testing.T) {
+	g, _, _ := groupPair(t)
+	g.SetParallel(true)
+	var n atomic.Int64
+	// The hook fires on one domain's goroutine first; the other must
+	// not deadlock waiting for the cancelled domain's horizon.
+	g.SetCancel(func() bool { return n.Add(1) >= 10 })
+	g.Run(200_000) // must terminate
+	if err := g.RunUntilQuiescent(1_000_000); !errors.Is(err, ErrCanceled) {
+		t.Fatalf("parallel RunUntilQuiescent = %v, want ErrCanceled", err)
+	}
+}
+
+func TestCancelGroupParallelPerDomainHooks(t *testing.T) {
+	// Per-domain cycle-budget closures: each goroutine reads only its
+	// own clock, the pattern traffic.Run uses for simulated-cycle
+	// deadlines on sharded meshes.
+	g, _, _ := groupPair(t)
+	g.SetParallel(true)
+	const budget = 5_000
+	for i := 0; i < g.Domains(); i++ {
+		c := g.Clock(i)
+		c.SetCancel(func() bool { return c.Cycle() >= budget })
+	}
+	g.Run(50_000_000) // must terminate well before 50M busy cycles
+	for i := 0; i < g.Domains(); i++ {
+		if cyc := g.Clock(i).Cycle(); cyc > budget+2*cancelCheckStride {
+			t.Fatalf("domain %d ran to cycle %d past budget %d", i, cyc, budget)
+		}
+	}
+}

@@ -91,6 +91,33 @@ func (g *Group) SetTimeWarp(on bool) {
 	}
 }
 
+// SetCancel applies Clock.SetCancel to every domain: one hook shared by
+// the whole group. In a parallel run every domain goroutine consults
+// the hook independently, so it must be safe for concurrent calls (a
+// context Err poll is; a closure over a single Clock's Cycle is not —
+// install per-domain closures with Clock.SetCancel for those).
+//
+// Cancellation abandons the run: a parallel run stopped by the hook may
+// leave the domains at unequal cycle counts, so the caller must discard
+// the simulation rather than continue it.
+func (g *Group) SetCancel(fn func() bool) {
+	for _, c := range g.clocks {
+		c.SetCancel(fn)
+	}
+}
+
+// canceled consults every domain's cancellation hook. It is only
+// called from the lockstep loops (single-threaded) and between joined
+// parallel chunks, never concurrently with domain goroutines.
+func (g *Group) canceled() bool {
+	for _, c := range g.clocks {
+		if c.canceled() {
+			return true
+		}
+	}
+	return false
+}
+
 // stepLockstep executes exactly one cycle in every domain: every
 // domain runs the state half of the cycle (Eval/Commit/latch), then —
 // once every producer has latched — the mirror events of this cycle
@@ -155,6 +182,9 @@ func (g *Group) Run(n uint64) {
 		return
 	}
 	for g.clocks[0].cycle < target {
+		if g.canceled() {
+			return
+		}
 		g.warpLockstep(target)
 		g.stepLockstep()
 	}
@@ -167,6 +197,9 @@ func (g *Group) Run(n uint64) {
 func (g *Group) RunUntil(pred func() bool, maxCycles uint64) error {
 	target := g.clocks[0].cycle + maxCycles
 	for g.clocks[0].cycle < target {
+		if g.canceled() {
+			return fmt.Errorf("%w at cycle %d", ErrCanceled, g.clocks[0].cycle)
+		}
 		g.warpLockstep(target)
 		g.stepLockstep()
 		if pred() {
@@ -204,6 +237,9 @@ func (g *Group) RunUntilQuiescent(maxCycles uint64) error {
 		if g.Quiescent() {
 			g.rewindToQuiescence(start)
 			return nil
+		}
+		if g.canceled() {
+			return fmt.Errorf("%w at cycle %d", ErrCanceled, g.clocks[0].cycle)
 		}
 		if g.parallel {
 			chunk := target
@@ -249,6 +285,9 @@ func (g *Group) runParallel(target uint64) {
 	if len(g.clocks) == 1 {
 		c := g.clocks[0]
 		for c.cycle < target {
+			if c.canceled() {
+				return
+			}
 			c.warp(target)
 			c.step()
 		}
@@ -281,6 +320,17 @@ func (g *Group) runParallel(target uint64) {
 func (c *Clock) runDomain(target uint64) {
 	g := c.group
 	for c.cycle < target {
+		// A cancelled domain bows out by publishing its horizon at the
+		// run target: downstream domains never block on it again (they
+		// advance at most to target themselves, on frozen mirror inputs)
+		// and the group joins without deadlock. The caller that armed
+		// the hook abandons the run's results, so the uneven stop cycles
+		// across domains are never observed.
+		if c.canceled() {
+			c.horizon.Store(target)
+			g.wakeSleepers()
+			return
+		}
 		limit := target
 		for _, u := range c.upstream {
 			if h := g.clocks[u].horizon.Load() + 1; h < limit {

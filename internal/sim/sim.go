@@ -213,6 +213,13 @@ type Clock struct {
 	dirty    []latcher // wires with a staged Set awaiting this edge
 	allWires []latcher // every wire, latched unconditionally in dense mode
 
+	// cancel, when non-nil, is consulted between executed steps of
+	// Run/RunUntil/RunUntilQuiescent (every cancelCheckStride steps);
+	// returning true stops the run early. See SetCancel.
+	cancel      func() bool
+	cancelCtr   int
+	cancelFired bool // latched first true result; reset by SetCancel
+
 	cycle uint64
 	// lastActive is the most recent cycle whose step did real work
 	// (components evaluated, a wire latched, a timer fired, a mirror
@@ -533,6 +540,59 @@ func (c *Clock) PendingTimers() int {
 	return len(c.timers)
 }
 
+// ErrCanceled reports that a run was stopped early by a cancellation
+// hook installed with SetCancel — a wall-clock deadline, a context, or
+// a simulated-cycle budget imposed from outside the simulation.
+var ErrCanceled = errors.New("sim: run canceled")
+
+// cancelCheckStride bounds how stale an observed cancellation can be:
+// an armed hook is consulted on the first executed step of a run loop
+// and then once every cancelCheckStride steps, keeping its cost off
+// the per-step hot path. Cancellation aborts a run whose results the
+// caller discards, so the exact stop cycle does not need to be
+// deterministic — only bounded.
+const cancelCheckStride = 64
+
+// SetCancel installs (or, with nil, removes) a cancellation hook for
+// this clock domain. The hook is consulted between executed steps of
+// Run, RunUntil and RunUntilQuiescent; when it returns true the run
+// stops early — Run simply returns with fewer cycles elapsed, the
+// error-returning entry points return ErrCanceled. The hook must be
+// cheap (a context Err poll, a cycle comparison) and, in a parallel
+// group run, safe to call from the domain's goroutine: a hook that
+// reads a Clock must read only its own.
+//
+// For a grouped clock the hook covers this domain only; use
+// Group.SetCancel to apply one hook to every domain, or install a
+// per-domain closure on each (the way a simulated-cycle budget is
+// enforced without cross-goroutine cycle reads).
+func (c *Clock) SetCancel(fn func() bool) {
+	c.cancel = fn
+	c.cancelCtr = 0
+	c.cancelFired = false
+}
+
+// canceled consults the cancellation hook, at most once every
+// cancelCheckStride calls. A true result latches: once a run has been
+// cancelled, every later check answers true without re-consulting the
+// hook, so all of the group's run loops observe the cancellation no
+// matter which one's check happened to trigger it.
+func (c *Clock) canceled() bool {
+	if c.cancelFired {
+		return true
+	}
+	if c.cancel == nil {
+		return false
+	}
+	if c.cancelCtr > 0 {
+		c.cancelCtr--
+		return false
+	}
+	c.cancelCtr = cancelCheckStride - 1
+	c.cancelFired = c.cancel()
+	return c.cancelFired
+}
+
 // warpUnbounded caps nothing: Step outside Run/RunUntil has no cycle
 // budget and may jump to any armed timer.
 const warpUnbounded = ^uint64(0)
@@ -571,6 +631,11 @@ func (c *Clock) warp(limit uint64) {
 func (c *Clock) jumpTo(target uint64) {
 	from := c.cycle + 1
 	c.cycle = target - 1
+	// A warp can cross an arbitrary span of simulated time, so a
+	// cycle-budget cancellation hook is re-consulted on the very next
+	// check instead of waiting out the stride (warps are rare — one per
+	// dead span — so this costs nothing on the hot path).
+	c.cancelCtr = 0
 	for _, p := range c.rangeProbes {
 		p(from, target-1)
 	}
@@ -715,7 +780,10 @@ func (c *Clock) stepFinish() {
 
 // Run advances the simulation by exactly n cycles of simulated time.
 // Dead spans inside the window are warped over (never past the window's
-// end), so the number of executed steps may be far smaller than n.
+// end), so the number of executed steps may be far smaller than n. A
+// cancellation hook (SetCancel) firing mid-run makes Run return early,
+// with the cycle counter wherever the last executed step left it;
+// callers that arm a hook re-check its condition after Run returns.
 func (c *Clock) Run(n uint64) {
 	if c.group != nil {
 		c.group.Run(n)
@@ -723,6 +791,9 @@ func (c *Clock) Run(n uint64) {
 	}
 	target := c.cycle + n
 	for c.cycle < target {
+		if c.canceled() {
+			return
+		}
 		c.warp(target)
 		c.step()
 	}
@@ -743,6 +814,9 @@ func (c *Clock) RunUntil(pred func() bool, maxCycles uint64) error {
 	}
 	target := c.cycle + maxCycles
 	for c.cycle < target {
+		if c.canceled() {
+			return fmt.Errorf("%w at cycle %d", ErrCanceled, c.cycle)
+		}
 		c.warp(target)
 		c.step()
 		if pred() {
@@ -810,6 +884,9 @@ func (c *Clock) RunUntilQuiescent(maxCycles uint64) error {
 	for c.cycle < target {
 		if c.quiescentLocal() {
 			return nil
+		}
+		if c.canceled() {
+			return fmt.Errorf("%w at cycle %d", ErrCanceled, c.cycle)
 		}
 		c.warp(target)
 		c.step()

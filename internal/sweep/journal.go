@@ -1,0 +1,160 @@
+package sweep
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+)
+
+// The journal is the service's only durable state: an append-only file
+// of JSON lines, each wrapping one payload with a CRC. Two record types
+// exist — "batch" (a batch was accepted, with its job keys and specs)
+// and "job" (a job reached a terminal state, with its full record).
+// Recovery replays the file line by line and stops at the first
+// corrupt or truncated line, truncating the file back to the last good
+// record: a crash mid-append costs at most the record being written,
+// never an earlier one.
+type journalLine struct {
+	T   string          `json:"t"` // "batch" or "job"
+	CRC uint32          `json:"crc"`
+	D   json.RawMessage `json:"d"`
+}
+
+// BatchEntry journals an accepted batch: its ID and the specs of the
+// jobs it references, so a restarted service can rebuild the batch →
+// job mapping and requeue whatever never reached a terminal record.
+type BatchEntry struct {
+	ID    string    `json:"id"`
+	Specs []JobSpec `json:"specs"`
+}
+
+// Journal is the append-only record store. Appends are not
+// concurrency-safe; the service serializes them under its own lock.
+type Journal struct {
+	f *os.File
+	w *bufio.Writer
+	// Batches and Jobs hold the replayed state after OpenJournal.
+	Batches []BatchEntry
+	Jobs    []JobRecord
+	// Dropped counts bytes truncated from a corrupt tail on open.
+	Dropped int64
+}
+
+// OpenJournal opens (creating if needed) the journal at path, replays
+// every intact record into Batches/Jobs, and truncates any corrupt or
+// half-written tail so the file ends on a record boundary for
+// appending.
+func OpenJournal(path string) (*Journal, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("sweep: open journal: %w", err)
+	}
+	j := &Journal{f: f}
+	good, err := j.replay()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	size, err := f.Seek(0, io.SeekEnd)
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("sweep: seek journal: %w", err)
+	}
+	if size > good {
+		j.Dropped = size - good
+		if err := f.Truncate(good); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("sweep: truncate corrupt journal tail: %w", err)
+		}
+		if _, err := f.Seek(good, io.SeekStart); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("sweep: seek journal: %w", err)
+		}
+	}
+	j.w = bufio.NewWriter(f)
+	return j, nil
+}
+
+// replay scans the journal from the start and returns the offset just
+// past the last intact record. Anything unparseable — bad JSON, a CRC
+// mismatch, a line without a trailing newline — ends the replay there.
+func (j *Journal) replay() (int64, error) {
+	if _, err := j.f.Seek(0, io.SeekStart); err != nil {
+		return 0, fmt.Errorf("sweep: seek journal: %w", err)
+	}
+	r := bufio.NewReader(j.f)
+	var good int64
+	for {
+		line, err := r.ReadBytes('\n')
+		if err != nil {
+			// io.EOF with a partial line = torn final write: drop it.
+			return good, nil
+		}
+		var rec journalLine
+		if json.Unmarshal(line, &rec) != nil {
+			return good, nil
+		}
+		if crc32.ChecksumIEEE(rec.D) != rec.CRC {
+			return good, nil
+		}
+		switch rec.T {
+		case "batch":
+			var b BatchEntry
+			if json.Unmarshal(rec.D, &b) != nil {
+				return good, nil
+			}
+			j.Batches = append(j.Batches, b)
+		case "job":
+			var jr JobRecord
+			if json.Unmarshal(rec.D, &jr) != nil {
+				return good, nil
+			}
+			j.Jobs = append(j.Jobs, jr)
+		default:
+			return good, nil
+		}
+		good += int64(len(line))
+	}
+}
+
+func (j *Journal) append(typ string, payload any) error {
+	d, err := json.Marshal(payload)
+	if err != nil {
+		return fmt.Errorf("sweep: marshal journal %s: %w", typ, err)
+	}
+	line, err := json.Marshal(journalLine{T: typ, CRC: crc32.ChecksumIEEE(d), D: d})
+	if err != nil {
+		return fmt.Errorf("sweep: marshal journal line: %w", err)
+	}
+	if _, err := j.w.Write(append(line, '\n')); err != nil {
+		return fmt.Errorf("sweep: append journal: %w", err)
+	}
+	if err := j.w.Flush(); err != nil {
+		return fmt.Errorf("sweep: flush journal: %w", err)
+	}
+	// Sync per record: a terminal result acknowledged to a client must
+	// survive a crash. Sweep jobs run for milliseconds to minutes, so
+	// the fsync is noise next to the work it makes durable.
+	if err := j.f.Sync(); err != nil {
+		return fmt.Errorf("sweep: sync journal: %w", err)
+	}
+	return nil
+}
+
+// AppendBatch journals an accepted batch before its jobs are enqueued.
+func (j *Journal) AppendBatch(b BatchEntry) error { return j.append("batch", b) }
+
+// AppendJob journals a job's terminal record.
+func (j *Journal) AppendJob(r JobRecord) error { return j.append("job", r) }
+
+// Close flushes and closes the journal file.
+func (j *Journal) Close() error {
+	if err := j.w.Flush(); err != nil {
+		j.f.Close()
+		return err
+	}
+	return j.f.Close()
+}

@@ -1,0 +1,165 @@
+package sweep
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"testing"
+
+	"repro/internal/traffic"
+)
+
+func postBatch(t *testing.T, url string, req SubmitRequest) *http.Response {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url+"/v1/batches", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func decode[T any](t *testing.T, resp *http.Response) T {
+	t.Helper()
+	defer resp.Body.Close()
+	var v T
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		t.Fatalf("decode response: %v", err)
+	}
+	return v
+}
+
+func TestHTTPSubmitPollAndResults(t *testing.T) {
+	s, err := NewService(Config{Workers: 2, Runner: instantRunner})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer drain(t, s)
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	resp := postBatch(t, srv.URL, SubmitRequest{
+		ID:   "sweep-1",
+		Jobs: []JobSpec{testSpec(0.02, 1), testSpec(0.05, 2)},
+	})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("POST = %d, want 202", resp.StatusCode)
+	}
+	snap := decode[BatchSnapshot](t, resp)
+	if snap.ID != "sweep-1" || len(snap.Jobs) != 2 {
+		t.Fatalf("snapshot = %+v", snap)
+	}
+
+	// Long-poll until done, then read one job's result directly.
+	resp, err = http.Get(srv.URL + "/v1/batches/sweep-1?wait=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	final := decode[BatchSnapshot](t, resp)
+	if !final.Done {
+		t.Fatalf("wait=1 returned unfinished batch: %+v", final)
+	}
+	resp, err = http.Get(srv.URL + "/v1/jobs/" + final.Jobs[0].Key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := decode[JobRecord](t, resp)
+	if rec.Status != StatusDone || rec.Result == nil || rec.Result.Offered != 1 {
+		t.Fatalf("job record = %+v, want done with result", rec)
+	}
+
+	resp, err = http.Get(srv.URL + "/v1/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := decode[Stats](t, resp)
+	if st.Computed != 2 || st.Workers != 2 {
+		t.Errorf("stats = %+v, want computed=2 workers=2", st)
+	}
+}
+
+func TestHTTPErrorMapping(t *testing.T) {
+	gate := make(chan struct{})
+	started := make(chan struct{}, 1)
+	s, err := NewService(Config{
+		Workers:  1,
+		QueueCap: 1,
+		Runner: func(ctx context.Context, spec JobSpec) (traffic.Result, error) {
+			started <- struct{}{}
+			<-gate
+			return instantRunner(ctx, spec)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { close(gate); drain(t, s) }()
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	// Invalid spec → 400.
+	resp := postBatch(t, srv.URL, SubmitRequest{Jobs: []JobSpec{testSpec(-1, 0)}})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("invalid spec: %d, want 400", resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	// Unparseable body → 400.
+	r2, err := http.Post(srv.URL+"/v1/batches", "application/json", bytes.NewReader([]byte("{nope")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad body: %d, want 400", r2.StatusCode)
+	}
+	r2.Body.Close()
+
+	// Unknown batch / job → 404.
+	for _, path := range []string{"/v1/batches/nope", "/v1/jobs/nope"} {
+		r, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.StatusCode != http.StatusNotFound {
+			t.Errorf("GET %s: %d, want 404", path, r.StatusCode)
+		}
+		r.Body.Close()
+	}
+
+	// Fill the worker and the queue...
+	resp = postBatch(t, srv.URL, SubmitRequest{ID: "b1", Jobs: []JobSpec{testSpec(0.02, 1)}})
+	resp.Body.Close()
+	<-started
+	resp = postBatch(t, srv.URL, SubmitRequest{ID: "b2", Jobs: []JobSpec{testSpec(0.02, 2)}})
+	resp.Body.Close()
+
+	// ...so the next batch gets 429 with a Retry-After hint.
+	resp = postBatch(t, srv.URL, SubmitRequest{Jobs: []JobSpec{testSpec(0.02, 3)}})
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("over capacity: %d, want 429", resp.StatusCode)
+	}
+	if after, err := strconv.Atoi(resp.Header.Get("Retry-After")); err != nil || after < 1 {
+		t.Errorf("Retry-After = %q, want a positive integer", resp.Header.Get("Retry-After"))
+	}
+	resp.Body.Close()
+
+	// Batch ID reuse with different jobs → 409.
+	resp = postBatch(t, srv.URL, SubmitRequest{ID: "b1", Jobs: []JobSpec{testSpec(0.07, 9)}})
+	if resp.StatusCode != http.StatusConflict {
+		t.Errorf("mismatched resubmit: %d, want 409", resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	// Idempotent resubmit of b1 → 202 again.
+	resp = postBatch(t, srv.URL, SubmitRequest{ID: "b1", Jobs: []JobSpec{testSpec(0.02, 1)}})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Errorf("idempotent resubmit: %d, want 202", resp.StatusCode)
+	}
+	resp.Body.Close()
+}

@@ -1,0 +1,765 @@
+package sweep
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	mrand "math/rand"
+	"runtime/debug"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/traffic"
+)
+
+// Config parameterizes a Service. Zero values select the documented
+// defaults.
+type Config struct {
+	// Workers is the number of concurrent job runners (default 4).
+	Workers int
+	// QueueCap bounds the number of queued (not yet running) jobs. A
+	// submission whose new jobs would push the backlog past the cap
+	// first sheds idle batches and otherwise gets a BacklogError; a
+	// single batch larger than the cap is never accepted (default 256).
+	QueueCap int
+	// JournalPath is the crash-safe record store. Empty runs the
+	// service in-memory: no durability, no restart resume.
+	JournalPath string
+
+	// DefaultMaxWall bounds each attempt's wall-clock time when the
+	// spec doesn't (default 2m).
+	DefaultMaxWall time.Duration
+	// DefaultMaxCycles bounds each job's simulated time when the spec
+	// doesn't (default 50M cycles).
+	DefaultMaxCycles uint64
+	// DefaultMaxRetries is the transient-failure retry bound when the
+	// spec doesn't set one (default 2).
+	DefaultMaxRetries int
+
+	// BackoffBase and BackoffMax shape the exponential retry backoff:
+	// base<<attempt, capped, with ±50% jitter (defaults 100ms / 5s).
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+
+	// ShedIdleAfter is how long a batch must go unpolled before its
+	// queued jobs become shedding candidates under queue pressure
+	// (default 30s; negative disables shedding).
+	ShedIdleAfter time.Duration
+
+	// Runner executes one job attempt. Nil selects the real simulator
+	// (spec.TrafficJob.Run); tests inject failures here. The spec
+	// arrives with MaxCycles already resolved against the default.
+	Runner func(ctx context.Context, spec JobSpec) (traffic.Result, error)
+
+	// Now and Sleep are test seams for the clock (defaults time.Now and
+	// a context-aware time.Sleep).
+	Now   func() time.Time
+	Sleep func(ctx context.Context, d time.Duration)
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = 4
+	}
+	if c.QueueCap <= 0 {
+		c.QueueCap = 256
+	}
+	if c.DefaultMaxWall <= 0 {
+		c.DefaultMaxWall = 2 * time.Minute
+	}
+	if c.DefaultMaxCycles == 0 {
+		c.DefaultMaxCycles = 50_000_000
+	}
+	if c.DefaultMaxRetries == 0 {
+		c.DefaultMaxRetries = 2
+	}
+	if c.BackoffBase <= 0 {
+		c.BackoffBase = 100 * time.Millisecond
+	}
+	if c.BackoffMax <= 0 {
+		c.BackoffMax = 5 * time.Second
+	}
+	if c.ShedIdleAfter == 0 {
+		c.ShedIdleAfter = 30 * time.Second
+	}
+	if c.Runner == nil {
+		c.Runner = func(ctx context.Context, spec JobSpec) (traffic.Result, error) {
+			return spec.TrafficJob.Run(ctx, spec.MaxCycles)
+		}
+	}
+	if c.Now == nil {
+		c.Now = time.Now
+	}
+	if c.Sleep == nil {
+		c.Sleep = func(ctx context.Context, d time.Duration) {
+			t := time.NewTimer(d)
+			defer t.Stop()
+			select {
+			case <-t.C:
+			case <-ctx.Done():
+			}
+		}
+	}
+	return c
+}
+
+// job is the mutable server-side state of one deduplicated job. All
+// fields are guarded by the service mutex except during an attempt,
+// when the owning worker reads Spec/Attempts from its private copy.
+type job struct {
+	rec     JobRecord
+	batches map[string]*batch
+}
+
+// batch tracks one accepted submission: which jobs it references and
+// when a client last looked at it (the shedding signal).
+type batch struct {
+	id       string
+	keys     []string
+	lastSeen time.Time
+}
+
+// Stats is a point-in-time snapshot of service health counters.
+type Stats struct {
+	Workers   int  `json:"workers"`
+	QueueLen  int  `json:"queueLen"`
+	InFlight  int  `json:"inFlight"`
+	Jobs      int  `json:"jobs"`
+	Batches   int  `json:"batches"`
+	Computed  int  `json:"computed"`
+	CacheHits int  `json:"cacheHits"`
+	Shed      int  `json:"shed"`
+	Respawns  int  `json:"respawns"`
+	Draining  bool `json:"draining"`
+	// JournalDropped is how many bytes of corrupt journal tail were
+	// discarded at startup (0 for a clean journal).
+	JournalDropped int64 `json:"journalDropped"`
+}
+
+// BatchSnapshot is the client-visible state of a batch.
+type BatchSnapshot struct {
+	ID   string      `json:"id"`
+	Jobs []JobRecord `json:"jobs"`
+	// Done is true once every job in the batch is terminal.
+	Done bool `json:"done"`
+}
+
+// Service is the sweep job service: a bounded queue feeding a
+// fixed-size worker pool, with journal-backed dedupe and resume.
+type Service struct {
+	cfg     Config
+	journal *Journal // nil when running in-memory
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	queue    []*job
+	jobs     map[string]*job
+	batches  map[string]*batch
+	draining bool
+	closed   bool
+	inFlight int
+	avgDur   time.Duration // EWMA of job wall time, for Retry-After
+	rng      *mrand.Rand   // backoff jitter; seeded for reproducible tests
+
+	computed  int
+	cacheHits int
+	shed      int
+	respawns  int
+	dropped   int64
+
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+	wg         sync.WaitGroup
+}
+
+// NewService opens (and replays) the journal, requeues every journaled
+// job that never reached a terminal record, and starts the worker pool.
+func NewService(cfg Config) (*Service, error) {
+	cfg = cfg.withDefaults()
+	s := &Service{
+		cfg:     cfg,
+		jobs:    make(map[string]*job),
+		batches: make(map[string]*batch),
+		rng:     mrand.New(mrand.NewSource(1)),
+	}
+	s.cond = sync.NewCond(&s.mu)
+	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
+
+	if cfg.JournalPath != "" {
+		jn, err := OpenJournal(cfg.JournalPath)
+		if err != nil {
+			return nil, err
+		}
+		s.journal = jn
+		s.dropped = jn.Dropped
+		s.replay(jn)
+	}
+
+	s.wg.Add(cfg.Workers)
+	for i := 0; i < cfg.Workers; i++ {
+		go s.worker()
+	}
+	return s, nil
+}
+
+// replay rebuilds in-memory state from a journal: terminal job records
+// first (later records win — a shed job may have been resubmitted and
+// finished), then batches, requeuing every referenced job without a
+// terminal record. Runs before the workers start, so no locking.
+func (s *Service) replay(jn *Journal) {
+	for i := range jn.Jobs {
+		rec := jn.Jobs[i]
+		if rec.Status == StatusDone {
+			rec.Cached = true // anything served from here on is from the journal
+		}
+		if j, ok := s.jobs[rec.Key]; ok {
+			j.rec = rec
+		} else {
+			s.jobs[rec.Key] = &job{rec: rec, batches: make(map[string]*batch)}
+		}
+	}
+	now := s.cfg.Now()
+	for _, be := range jn.Batches {
+		b := &batch{id: be.ID, lastSeen: now}
+		for i := range be.Specs {
+			key := be.Specs[i].Key()
+			b.keys = append(b.keys, key)
+			j, ok := s.jobs[key]
+			if !ok {
+				j = &job{
+					rec:     JobRecord{Key: key, Spec: be.Specs[i], Status: StatusQueued},
+					batches: make(map[string]*batch),
+				}
+				s.jobs[key] = j
+				s.queue = append(s.queue, j)
+			}
+			j.batches[b.id] = b
+		}
+		s.batches[b.id] = b
+	}
+}
+
+// worker is one pool goroutine. The deferred exit handler tells a
+// normal return (drain) apart from a killed worker — a panic that
+// somehow escaped the per-attempt recover, or a runtime.Goexit from a
+// hostile model — and respawns a replacement so the pool never
+// shrinks. The in-flight job of a killed worker is retried or failed,
+// never lost.
+func (s *Service) worker() {
+	var cur *job
+	normal := false
+	defer func() {
+		if normal {
+			s.wg.Done()
+			return
+		}
+		r := recover()
+		s.mu.Lock()
+		s.respawns++
+		if cur != nil {
+			s.workerDiedLocked(cur, r)
+		}
+		s.mu.Unlock()
+		go s.worker() // the replacement inherits this worker's WaitGroup slot
+	}()
+	for {
+		j := s.next()
+		if j == nil {
+			normal = true
+			return
+		}
+		cur = j
+		s.runJob(j)
+		cur = nil
+	}
+}
+
+// next blocks until a job is available, returning nil when the service
+// is draining.
+func (s *Service) next() *job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for {
+		if s.draining {
+			return nil
+		}
+		if len(s.queue) > 0 {
+			j := s.queue[0]
+			s.queue = s.queue[1:]
+			j.rec.Status = StatusRunning
+			s.inFlight++
+			return j
+		}
+		s.cond.Wait()
+	}
+}
+
+// workerDiedLocked disposes of the job a killed worker was running:
+// one more transient attempt if the retry budget allows, a terminal
+// failure otherwise.
+func (s *Service) workerDiedLocked(j *job, panicked any) {
+	s.inFlight--
+	why := "worker killed during attempt"
+	if panicked != nil {
+		why = fmt.Sprintf("worker killed by escaped panic: %v", panicked)
+	}
+	if j.rec.Attempts <= s.retriesFor(j.rec.Spec) && !s.draining {
+		j.rec.Status = StatusQueued
+		s.queue = append(s.queue, j)
+	} else {
+		j.rec.Status = StatusFailed
+		j.rec.Error = why
+		s.finishLocked(j, 0)
+	}
+	s.cond.Broadcast()
+}
+
+// retriesFor resolves a spec's transient-retry budget.
+func (s *Service) retriesFor(spec JobSpec) int {
+	switch {
+	case spec.MaxRetries > 0:
+		return spec.MaxRetries
+	case spec.MaxRetries < 0:
+		return 0
+	default:
+		return s.cfg.DefaultMaxRetries
+	}
+}
+
+// runJob drives one job to a terminal state (or back to queued if the
+// service is force-stopped mid-run): attempt, classify, maybe back off
+// and retry.
+func (s *Service) runJob(j *job) {
+	start := s.cfg.Now()
+	for {
+		res, err := s.attempt(j)
+
+		s.mu.Lock()
+		switch {
+		case err == nil:
+			j.rec.Status = StatusDone
+			j.rec.Result = &res
+			j.rec.Error, j.rec.Stack = "", ""
+			s.computed++
+			s.finishLocked(j, s.cfg.Now().Sub(start))
+			s.mu.Unlock()
+			return
+
+		case s.baseCtx.Err() != nil && errors.Is(err, context.Canceled):
+			// Forced stop (drain deadline expired): the attempt was cut
+			// short through no fault of the job. Put it back in queued
+			// state — unjournaled, so a restart resumes it.
+			j.rec.Status = StatusQueued
+			j.rec.Error = ""
+			s.inFlight--
+			s.mu.Unlock()
+			return
+
+		case errors.Is(err, context.DeadlineExceeded) || errors.Is(err, traffic.ErrCycleBudget):
+			j.rec.Status = StatusTimeout
+			j.rec.Error = err.Error()
+			s.finishLocked(j, s.cfg.Now().Sub(start))
+			s.mu.Unlock()
+			return
+
+		case IsTransient(err) && j.rec.Attempts <= s.retriesFor(j.rec.Spec):
+			attempt := j.rec.Attempts
+			s.mu.Unlock()
+			s.cfg.Sleep(s.baseCtx, s.backoff(attempt))
+			if s.baseCtx.Err() != nil {
+				s.mu.Lock()
+				j.rec.Status = StatusQueued
+				s.inFlight--
+				s.mu.Unlock()
+				return
+			}
+			continue
+
+		default:
+			j.rec.Status = StatusFailed
+			j.rec.Error = err.Error()
+			var pe *PanicError
+			if errors.As(err, &pe) {
+				j.rec.Stack = pe.Stack
+			}
+			s.finishLocked(j, s.cfg.Now().Sub(start))
+			s.mu.Unlock()
+			return
+		}
+	}
+}
+
+// attempt runs the Runner once under the per-job wall-clock deadline,
+// converting a panic into a PanicError instead of letting it unwind
+// the worker.
+func (s *Service) attempt(j *job) (res traffic.Result, err error) {
+	s.mu.Lock()
+	j.rec.Attempts++
+	spec := j.rec.Spec
+	s.mu.Unlock()
+
+	if spec.MaxCycles == 0 {
+		spec.MaxCycles = s.cfg.DefaultMaxCycles
+	}
+	wall := s.cfg.DefaultMaxWall
+	if spec.MaxWallMS > 0 {
+		wall = time.Duration(spec.MaxWallMS) * time.Millisecond
+	}
+	ctx, cancel := context.WithTimeout(s.baseCtx, wall)
+	defer cancel()
+
+	defer func() {
+		if r := recover(); r != nil {
+			err = &PanicError{Value: fmt.Sprint(r), Stack: string(debug.Stack())}
+		}
+	}()
+	return s.cfg.Runner(ctx, spec)
+}
+
+// backoff computes the sleep before retry attempt+1: exponential in
+// the attempt number, capped, with ±50% jitter so colliding retries
+// spread out.
+func (s *Service) backoff(attempt int) time.Duration {
+	d := s.cfg.BackoffBase
+	for i := 1; i < attempt && d < s.cfg.BackoffMax; i++ {
+		d *= 2
+	}
+	if d > s.cfg.BackoffMax {
+		d = s.cfg.BackoffMax
+	}
+	s.mu.Lock()
+	jit := time.Duration(s.rng.Int63n(int64(d) + 1))
+	s.mu.Unlock()
+	return d/2 + jit
+}
+
+// finishLocked records a terminal transition: journal it, update the
+// latency estimate, wake pollers. dur==0 skips the estimate (the job
+// never ran).
+func (s *Service) finishLocked(j *job, dur time.Duration) {
+	s.inFlight--
+	if dur > 0 {
+		if s.avgDur == 0 {
+			s.avgDur = dur
+		} else {
+			s.avgDur = (s.avgDur*4 + dur) / 5
+		}
+	}
+	if s.journal != nil && !s.closed {
+		if err := s.journal.AppendJob(j.rec); err != nil {
+			// The record stays served from memory; durability is lost
+			// for this one record but the service keeps running.
+			j.rec.Error = appendErr(j.rec.Error, fmt.Sprintf("journal append failed: %v", err))
+		}
+	}
+	s.cond.Broadcast()
+}
+
+func appendErr(base, extra string) string {
+	if base == "" {
+		return extra
+	}
+	return base + "; " + extra
+}
+
+// Submit accepts a batch of job specs. An empty batchID gets a fresh
+// one; resubmitting an existing ID with the same jobs is idempotent
+// (it returns the current snapshot), with different jobs it is
+// ErrBatchMismatch. Errors: ValidationError (a spec is malformed),
+// BacklogError (queue full even after shedding), ErrDraining.
+func (s *Service) Submit(batchID string, specs []JobSpec) (BatchSnapshot, error) {
+	if len(specs) == 0 {
+		return BatchSnapshot{}, &ValidationError{Index: 0, Err: errors.New("empty batch")}
+	}
+	keys := make([]string, len(specs))
+	for i := range specs {
+		if err := specs[i].Validate(); err != nil {
+			return BatchSnapshot{}, &ValidationError{Index: i, Err: err}
+		}
+		keys[i] = specs[i].Key()
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return BatchSnapshot{}, ErrDraining
+	}
+	if batchID == "" {
+		batchID = newBatchID()
+	}
+	if b, ok := s.batches[batchID]; ok {
+		if !equalKeys(b.keys, keys) {
+			return BatchSnapshot{}, ErrBatchMismatch
+		}
+		b.lastSeen = s.cfg.Now()
+		return s.snapshotLocked(b), nil
+	}
+
+	// How many queue slots does this batch need? Only jobs that are
+	// new (or terminal-but-not-done, which re-run) occupy one.
+	need := 0
+	seen := make(map[string]bool, len(keys))
+	for _, k := range keys {
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		j, ok := s.jobs[k]
+		if !ok || (j.rec.Status.Terminal() && j.rec.Status != StatusDone) {
+			need++
+		}
+	}
+	if len(s.queue)+need > s.cfg.QueueCap {
+		s.shedLocked(len(s.queue)+need-s.cfg.QueueCap, batchID)
+		if len(s.queue)+need > s.cfg.QueueCap {
+			return BatchSnapshot{}, &BacklogError{RetryAfter: s.retryAfterLocked(need)}
+		}
+	}
+
+	// Journal the acceptance before exposing any state: a batch the
+	// client saw accepted must survive a crash.
+	if s.journal != nil {
+		if err := s.journal.AppendBatch(BatchEntry{ID: batchID, Specs: specs}); err != nil {
+			return BatchSnapshot{}, err
+		}
+	}
+
+	b := &batch{id: batchID, keys: keys, lastSeen: s.cfg.Now()}
+	s.batches[batchID] = b
+	for i, k := range keys {
+		j, ok := s.jobs[k]
+		switch {
+		case !ok:
+			j = &job{
+				rec:     JobRecord{Key: k, Spec: specs[i], Status: StatusQueued},
+				batches: make(map[string]*batch),
+			}
+			s.jobs[k] = j
+			s.queue = append(s.queue, j)
+		case j.rec.Status == StatusDone:
+			s.cacheHits++
+			j.rec.Cached = true
+		case j.rec.Status.Terminal():
+			// failed / timeout / shed: a fresh submission asks again.
+			j.rec = JobRecord{Key: k, Spec: specs[i], Status: StatusQueued}
+			s.queue = append(s.queue, j)
+		}
+		j.batches[b.id] = b
+	}
+	s.cond.Broadcast()
+	return s.snapshotLocked(b), nil
+}
+
+// shedLocked frees up to want queue slots by shedding queued jobs
+// whose every referencing batch has gone unpolled for ShedIdleAfter,
+// idlest batches first. Shed is a journaled terminal state; a
+// resubmission of the same spec requeues it.
+func (s *Service) shedLocked(want int, requester string) {
+	if s.cfg.ShedIdleAfter < 0 || want <= 0 {
+		return
+	}
+	cutoff := s.cfg.Now().Add(-s.cfg.ShedIdleAfter)
+	idle := func(j *job) (time.Time, bool) {
+		var latest time.Time
+		for id, b := range j.batches {
+			if id == requester || b.lastSeen.After(cutoff) {
+				return time.Time{}, false
+			}
+			if b.lastSeen.After(latest) {
+				latest = b.lastSeen
+			}
+		}
+		return latest, len(j.batches) > 0
+	}
+	type cand struct {
+		j    *job
+		seen time.Time
+	}
+	var cands []cand
+	for _, j := range s.queue {
+		if seen, ok := idle(j); ok {
+			cands = append(cands, cand{j, seen})
+		}
+	}
+	sort.Slice(cands, func(a, b int) bool { return cands[a].seen.Before(cands[b].seen) })
+	if len(cands) > want {
+		cands = cands[:want]
+	}
+	if len(cands) == 0 {
+		return
+	}
+	doomed := make(map[*job]bool, len(cands))
+	for _, c := range cands {
+		doomed[c.j] = true
+	}
+	kept := s.queue[:0]
+	for _, j := range s.queue {
+		if doomed[j] {
+			j.rec.Status = StatusShed
+			j.rec.Error = "shed under queue pressure (batch idle)"
+			s.shed++
+			s.inFlight++ // finishLocked undoes this; shed jobs never ran
+			s.finishLocked(j, 0)
+			continue
+		}
+		kept = append(kept, j)
+	}
+	s.queue = kept
+}
+
+// retryAfterLocked estimates when a rejected submitter should try
+// again: the queue's expected drain time for `need` slots, clamped to
+// [1s, 60s].
+func (s *Service) retryAfterLocked(need int) time.Duration {
+	avg := s.avgDur
+	if avg <= 0 {
+		avg = time.Second
+	}
+	pending := len(s.queue) + s.inFlight + need
+	d := avg * time.Duration((pending+s.cfg.Workers-1)/s.cfg.Workers)
+	if d < time.Second {
+		d = time.Second
+	}
+	if d > time.Minute {
+		d = time.Minute
+	}
+	return d
+}
+
+func (s *Service) snapshotLocked(b *batch) BatchSnapshot {
+	snap := BatchSnapshot{ID: b.id, Done: true}
+	for _, k := range b.keys {
+		rec := s.jobs[k].rec
+		if !rec.Status.Terminal() {
+			snap.Done = false
+		}
+		snap.Jobs = append(snap.Jobs, rec)
+	}
+	return snap
+}
+
+// BatchStatus returns the batch's snapshot and refreshes its activity
+// stamp (a polled batch is never shed).
+func (s *Service) BatchStatus(id string) (BatchSnapshot, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b, ok := s.batches[id]
+	if !ok {
+		return BatchSnapshot{}, false
+	}
+	b.lastSeen = s.cfg.Now()
+	return s.snapshotLocked(b), true
+}
+
+// WaitBatch blocks until every job in the batch is terminal or ctx
+// expires, returning the final snapshot either way.
+func (s *Service) WaitBatch(ctx context.Context, id string) (BatchSnapshot, error) {
+	stop := context.AfterFunc(ctx, func() { s.cond.Broadcast() })
+	defer stop()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for {
+		b, ok := s.batches[id]
+		if !ok {
+			return BatchSnapshot{}, fmt.Errorf("sweep: unknown batch %q", id)
+		}
+		b.lastSeen = s.cfg.Now()
+		snap := s.snapshotLocked(b)
+		if snap.Done {
+			return snap, nil
+		}
+		if err := ctx.Err(); err != nil {
+			return snap, err
+		}
+		if s.draining {
+			return snap, ErrDraining
+		}
+		s.cond.Wait()
+	}
+}
+
+// Job returns the record for one job key.
+func (s *Service) Job(key string) (JobRecord, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[key]
+	if !ok {
+		return JobRecord{}, false
+	}
+	return j.rec, true
+}
+
+// Stats returns current health counters.
+func (s *Service) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return Stats{
+		Workers:        s.cfg.Workers,
+		QueueLen:       len(s.queue),
+		InFlight:       s.inFlight,
+		Jobs:           len(s.jobs),
+		Batches:        len(s.batches),
+		Computed:       s.computed,
+		CacheHits:      s.cacheHits,
+		Shed:           s.shed,
+		Respawns:       s.respawns,
+		Draining:       s.draining,
+		JournalDropped: s.dropped,
+	}
+}
+
+// Drain shuts the service down gracefully: stop dispatching, let
+// in-flight jobs finish, then close the journal. Queued jobs stay
+// journaled as pending — a restart resumes them. If ctx expires first,
+// in-flight jobs are force-cancelled and also return to the pending
+// pool rather than being recorded as failures.
+func (s *Service) Drain(ctx context.Context) error {
+	s.mu.Lock()
+	s.draining = true
+	s.cond.Broadcast()
+	s.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() { s.wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-ctx.Done():
+		s.baseCancel()
+		<-done
+	}
+	s.baseCancel()
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	if s.journal != nil {
+		return s.journal.Close()
+	}
+	return nil
+}
+
+func newBatchID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		panic(fmt.Sprintf("sweep: batch id entropy: %v", err))
+	}
+	return "b-" + hex.EncodeToString(b[:])
+}
+
+func equalKeys(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -7,7 +7,10 @@
 package traffic
 
 import (
+	"context"
+	"errors"
 	"fmt"
+	"math"
 
 	"repro/internal/noc"
 	"repro/internal/sim"
@@ -96,6 +99,55 @@ type Config struct {
 	// 1 to have any effect). Results are bit-identical to the serial
 	// lockstep run of the same partition.
 	Parallel bool
+	// Ctx, when non-nil, bounds the run in wall-clock time: once the
+	// context is cancelled (or its deadline passes) the kernel stops at
+	// its next cancellation check and Run returns the context's error.
+	// A finished run is never failed retroactively.
+	Ctx context.Context
+	// MaxCycles, when non-zero, bounds the run in simulated time: a run
+	// whose clock reaches this cycle count fails with ErrCycleBudget.
+	// It is a safety net against runaway configurations (a drain that
+	// never quiesces, a saturated mesh crawling through its measure
+	// phase); a successful run needs MaxCycles > Warmup+Measure+Drain.
+	MaxCycles uint64
+}
+
+// ErrCycleBudget reports that a run exceeded its Config.MaxCycles
+// simulated-cycle budget.
+var ErrCycleBudget = errors.New("traffic: simulated-cycle budget exceeded")
+
+// Validate reports the first invalid field of the experiment
+// configuration against the mesh it will run on, nil when usable.
+// Run calls it itself; services accepting configurations from the
+// network call it up front so a malformed job is rejected as a client
+// error before any simulator state is built.
+func (c Config) Validate(ncfg noc.Config) error {
+	if err := ncfg.Validate(); err != nil {
+		return err
+	}
+	switch {
+	case math.IsNaN(c.Rate) || math.IsInf(c.Rate, 0) || c.Rate < 0:
+		return fmt.Errorf("traffic: invalid injection rate %v", c.Rate)
+	case c.Rate > 1:
+		return fmt.Errorf("traffic: injection rate %v exceeds 1 flit/cycle/node", c.Rate)
+	case c.PayloadFlits <= 0:
+		return fmt.Errorf("traffic: payload must be positive, got %d", c.PayloadFlits)
+	case c.PayloadFlits > noc.MaxPayload(ncfg.FlitBits):
+		return fmt.Errorf("traffic: payload of %d flits exceeds max %d for %d-bit flits",
+			c.PayloadFlits, noc.MaxPayload(ncfg.FlitBits), ncfg.FlitBits)
+	case c.Warmup < 0:
+		return fmt.Errorf("traffic: negative warmup %d", c.Warmup)
+	case c.Measure < 1:
+		return fmt.Errorf("traffic: measurement window must be at least 1 cycle, got %d", c.Measure)
+	case c.QueueCap < 0:
+		return fmt.Errorf("traffic: negative queue cap %d", c.QueueCap)
+	case c.Domains < 0:
+		return fmt.Errorf("traffic: negative domain count %d", c.Domains)
+	case c.Domains > ncfg.Width:
+		return fmt.Errorf("traffic: %d domains exceed the mesh's %d column strips", c.Domains, ncfg.Width)
+	default:
+		return nil
+	}
 }
 
 // Result reports a load experiment.
@@ -200,14 +252,29 @@ func Run(ncfg noc.Config, tcfg Config) (Result, error) {
 	if tcfg.Drain < 0 {
 		tcfg.Drain = 0 // a negative drain ran zero cycles before the uint64 budget
 	}
-	if tcfg.PayloadFlits <= 0 {
-		return Result{}, fmt.Errorf("traffic: payload must be positive")
+	if err := tcfg.Validate(ncfg); err != nil {
+		return Result{}, err
 	}
 	var (
 		clk *sim.Clock
 		net *noc.Network
 		err error
 	)
+	// armCancel installs the wall-clock/cycle-budget cancellation hook
+	// on one clock domain. Each domain's closure reads only its own
+	// cycle counter, so the hook is safe on parallel runs.
+	armCancel := func(c *sim.Clock) {
+		ctx, limit := tcfg.Ctx, tcfg.MaxCycles
+		if ctx == nil && limit == 0 {
+			return
+		}
+		c.SetCancel(func() bool {
+			if ctx != nil && ctx.Err() != nil {
+				return true
+			}
+			return limit > 0 && c.Cycle() >= limit
+		})
+	}
 	if tcfg.Domains > 1 {
 		// Sharded build: contiguous column strips, one clock domain per
 		// strip, each injector registered in its endpoint's domain so
@@ -218,14 +285,31 @@ func Run(ncfg noc.Config, tcfg Config) (Result, error) {
 		g.SetParallel(tcfg.Parallel)
 		net, err = noc.NewSharded(g, ncfg, noc.StripDomains(ncfg, tcfg.Domains, 0))
 		clk = g.Clock(0)
+		for i := 0; i < g.Domains(); i++ {
+			armCancel(g.Clock(i))
+		}
 	} else {
 		clk = sim.NewClock()
 		clk.SetActivityScheduling(!tcfg.DenseKernel)
 		clk.SetTimeWarp(!tcfg.NoTimeWarp)
+		armCancel(clk)
 		net, err = noc.New(clk, ncfg)
 	}
 	if err != nil {
 		return Result{}, err
+	}
+	// overBudget classifies a cancelled (or budget-straddling) run after
+	// each phase: context errors win, then the cycle budget. The kernel
+	// checks its hook with a bounded stride, so the final cycle count
+	// may slightly overshoot the exact limit.
+	overBudget := func() error {
+		if tcfg.Ctx != nil && tcfg.Ctx.Err() != nil {
+			return fmt.Errorf("traffic: run canceled: %w", tcfg.Ctx.Err())
+		}
+		if tcfg.MaxCycles > 0 && clk.Cycle() >= tcfg.MaxCycles {
+			return fmt.Errorf("%w: cycle %d of %d", ErrCycleBudget, clk.Cycle(), tcfg.MaxCycles)
+		}
+		return nil
 	}
 	warmup, measure := uint64(tcfg.Warmup), uint64(tcfg.Measure)
 	var injectors []*injector
@@ -258,15 +342,27 @@ func Run(ncfg noc.Config, tcfg Config) (Result, error) {
 	}
 
 	clk.Run(warmup)
+	if err := overBudget(); err != nil {
+		return Result{}, err
+	}
 	startDelivered := deliveredFlits(net)
 	clk.Run(measure)
+	if err := overBudget(); err != nil {
+		return Result{}, err
+	}
 	endDelivered := deliveredFlits(net)
 	// Drain so measured packets complete. Quiescence means every
 	// in-flight flit has been delivered and the mesh is back to sleep,
 	// so this stops as soon as the drain is actually done; the Drain
 	// budget only bounds it (a timeout leaves late packets unmeasured,
-	// exactly as the old fixed-length drain did).
-	_ = clk.RunUntilQuiescent(uint64(tcfg.Drain))
+	// exactly as the old fixed-length drain did — but a cancelled or
+	// over-budget drain fails the run).
+	if err := clk.RunUntilQuiescent(uint64(tcfg.Drain)); errors.Is(err, sim.ErrCanceled) {
+		if berr := overBudget(); berr != nil {
+			return Result{}, berr
+		}
+		return Result{}, err
+	}
 
 	// Aggregate per-injector tallies in node order, so the Result does
 	// not depend on the order the active set evaluated the injectors.
