@@ -6,11 +6,17 @@
 //
 //	benchgate -base BENCH_BASELINE.json -new BENCH_NEW.json
 //	benchgate -base old.json -new new.json -metric simcycles/sec -threshold 0.15
+//	benchgate -base old.json -new new.json -metric allocs/op -lower -threshold 0.10
 //
 // Benchmarks are matched by name; only those present in both files and
-// carrying the metric are compared. The metric is higher-is-better
-// (simulated cycles per wall-clock second); a new value below
-// (1 - threshold) x base is a regression. Benchmarks that appear on
+// carrying the metric are compared. By default the metric is
+// higher-is-better (simulated cycles per wall-clock second); a new
+// value below (1 - threshold) x base is a regression. With -lower the
+// metric is lower-is-better (allocs/op, B/op): a new value above
+// (1 + threshold) x base regresses, a zero baseline must stay zero,
+// and zero-baseline entries are compared rather than skipped (a
+// steady-state path that starts allocating is exactly the regression
+// the gate exists to catch). Benchmarks that appear on
 // only one side — renamed, retired, or newly added since the baseline
 // was committed — are reported but never fail the gate, so baselines
 // from earlier PRs remain usable as the suite evolves. A baseline with
@@ -55,10 +61,13 @@ func load(path string) (map[string]Entry, error) {
 }
 
 // gate compares candidate against baseline on one metric, writing the
-// per-benchmark report to out. The exit status is 1 when any common
+// per-benchmark report to out. When lower is set the metric is
+// lower-is-better and zero baselines are gated (must stay zero);
+// otherwise higher-is-better, where a non-positive baseline value is
+// meaningless and skipped. The exit status is 1 when any common
 // benchmark regressed past the threshold and 0 otherwise — including
 // when nothing was comparable, which only earns a warning.
-func gate(base, cand map[string]Entry, metric string, threshold float64, out io.Writer) int {
+func gate(base, cand map[string]Entry, metric string, threshold float64, lower bool, out io.Writer) int {
 	names := make([]string, 0, len(base))
 	for name := range base {
 		names = append(names, name)
@@ -68,7 +77,7 @@ func gate(base, cand map[string]Entry, metric string, threshold float64, out io.
 	compared, regressed := 0, 0
 	for _, name := range names {
 		bv, ok := base[name].Metrics[metric]
-		if !ok || bv <= 0 {
+		if !ok || (!lower && bv <= 0) {
 			continue
 		}
 		c, ok := cand[name]
@@ -82,9 +91,18 @@ func gate(base, cand map[string]Entry, metric string, threshold float64, out io.
 			continue
 		}
 		compared++
-		change := cv/bv - 1
+		change := 0.0
+		if bv != 0 {
+			change = cv/bv - 1
+		}
+		bad := cv < bv*(1-threshold)
+		if lower {
+			// A zero baseline admits no slack: any allocation at all
+			// on a previously allocation-free path is a regression.
+			bad = cv > bv*(1+threshold) || (bv == 0 && cv > 0)
+		}
 		status := "OK      "
-		if cv < bv*(1-threshold) {
+		if bad {
 			status = "REGRESS "
 			regressed++
 		}
@@ -108,8 +126,9 @@ func gate(base, cand map[string]Entry, metric string, threshold float64, out io.
 func main() {
 	basePath := flag.String("base", "", "baseline benchjson file")
 	newPath := flag.String("new", "", "candidate benchjson file")
-	metric := flag.String("metric", "simcycles/sec", "higher-is-better metric to gate on")
+	metric := flag.String("metric", "simcycles/sec", "metric to gate on")
 	threshold := flag.Float64("threshold", 0.15, "allowed fractional regression")
+	lower := flag.Bool("lower", false, "metric is lower-is-better (allocs/op, B/op); zero baselines must stay zero")
 	flag.Parse()
 	if *basePath == "" || *newPath == "" {
 		fmt.Fprintln(os.Stderr, "benchgate: -base and -new are required")
@@ -125,5 +144,5 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchgate:", err)
 		os.Exit(2)
 	}
-	os.Exit(gate(base, cand, *metric, *threshold, os.Stdout))
+	os.Exit(gate(base, cand, *metric, *threshold, *lower, os.Stdout))
 }

@@ -21,7 +21,7 @@ func TestGatePassesWithinThreshold(t *testing.T) {
 	base := asMap(entry("BenchmarkA", map[string]float64{"simcycles/sec": 1000}))
 	cand := asMap(entry("BenchmarkA", map[string]float64{"simcycles/sec": 900}))
 	var out strings.Builder
-	if code := gate(base, cand, "simcycles/sec", 0.15, &out); code != 0 {
+	if code := gate(base, cand, "simcycles/sec", 0.15, false, &out); code != 0 {
 		t.Fatalf("10%% slowdown under a 15%% threshold: exit %d\n%s", code, out.String())
 	}
 	if !strings.Contains(out.String(), "OK") {
@@ -39,7 +39,7 @@ func TestGateFailsOnRegression(t *testing.T) {
 		entry("BenchmarkB", map[string]float64{"simcycles/sec": 500}),
 	)
 	var out strings.Builder
-	if code := gate(base, cand, "simcycles/sec", 0.15, &out); code != 1 {
+	if code := gate(base, cand, "simcycles/sec", 0.15, false, &out); code != 1 {
 		t.Fatalf("50%% regression: exit %d, want 1\n%s", code, out.String())
 	}
 	if !strings.Contains(out.String(), "REGRESS ") || !strings.Contains(out.String(), "BenchmarkB") {
@@ -57,11 +57,55 @@ func TestGateSkipsStaleBaselineEntries(t *testing.T) {
 	)
 	cand := asMap(entry("BenchmarkKept", map[string]float64{"simcycles/sec": 1100}))
 	var out strings.Builder
-	if code := gate(base, cand, "simcycles/sec", 0.15, &out); code != 0 {
+	if code := gate(base, cand, "simcycles/sec", 0.15, false, &out); code != 0 {
 		t.Fatalf("stale entry hard-failed the gate: exit %d\n%s", code, out.String())
 	}
 	if !strings.Contains(out.String(), "MISSING") || !strings.Contains(out.String(), "BenchmarkGone") {
 		t.Errorf("stale entry not reported:\n%s", out.String())
+	}
+}
+
+func TestGateLowerIsBetter(t *testing.T) {
+	// allocs/op gating: fewer is fine, more past the threshold fails.
+	base := asMap(
+		entry("BenchmarkA", map[string]float64{"allocs/op": 100}),
+		entry("BenchmarkB", map[string]float64{"allocs/op": 100}),
+	)
+	cand := asMap(
+		entry("BenchmarkA", map[string]float64{"allocs/op": 50}),
+		entry("BenchmarkB", map[string]float64{"allocs/op": 105}),
+	)
+	var out strings.Builder
+	if code := gate(base, cand, "allocs/op", 0.10, true, &out); code != 0 {
+		t.Fatalf("improvement + 5%% growth under 10%% threshold: exit %d\n%s", code, out.String())
+	}
+	cand = asMap(
+		entry("BenchmarkA", map[string]float64{"allocs/op": 50}),
+		entry("BenchmarkB", map[string]float64{"allocs/op": 150}),
+	)
+	out.Reset()
+	if code := gate(base, cand, "allocs/op", 0.10, true, &out); code != 1 {
+		t.Fatalf("50%% allocation growth: exit %d, want 1\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "REGRESS ") || !strings.Contains(out.String(), "BenchmarkB") {
+		t.Errorf("report missing regression line:\n%s", out.String())
+	}
+}
+
+func TestGateLowerZeroBaselineMustStayZero(t *testing.T) {
+	// Higher-is-better skips non-positive baselines as meaningless, but
+	// a 0 allocs/op baseline is the strongest possible claim: any
+	// allocation in the candidate is a regression, threshold or not.
+	base := asMap(entry("BenchmarkSteady", map[string]float64{"allocs/op": 0}))
+	cand := asMap(entry("BenchmarkSteady", map[string]float64{"allocs/op": 1}))
+	var out strings.Builder
+	if code := gate(base, cand, "allocs/op", 0.15, true, &out); code != 1 {
+		t.Fatalf("0 -> 1 allocs/op: exit %d, want 1\n%s", code, out.String())
+	}
+	cand = asMap(entry("BenchmarkSteady", map[string]float64{"allocs/op": 0}))
+	out.Reset()
+	if code := gate(base, cand, "allocs/op", 0.15, true, &out); code != 0 {
+		t.Fatalf("0 -> 0 allocs/op: exit %d, want 0\n%s", code, out.String())
 	}
 }
 
@@ -71,7 +115,7 @@ func TestGateWarnsWhenNothingComparable(t *testing.T) {
 	base := asMap(entry("BenchmarkOld", map[string]float64{"simcycles/sec": 1000}))
 	cand := asMap(entry("BenchmarkNew", map[string]float64{"simcycles/sec": 1000}))
 	var out strings.Builder
-	if code := gate(base, cand, "simcycles/sec", 0.15, &out); code != 0 {
+	if code := gate(base, cand, "simcycles/sec", 0.15, false, &out); code != 0 {
 		t.Fatalf("empty comparison: exit %d, want 0 (warn only)\n%s", code, out.String())
 	}
 	if !strings.Contains(out.String(), "WARNING") {
@@ -81,7 +125,7 @@ func TestGateWarnsWhenNothingComparable(t *testing.T) {
 	base = asMap(entry("BenchmarkA", map[string]float64{"ns/op": 5}))
 	cand = asMap(entry("BenchmarkA", map[string]float64{"ns/op": 5}))
 	out.Reset()
-	if code := gate(base, cand, "simcycles/sec", 0.15, &out); code != 0 {
+	if code := gate(base, cand, "simcycles/sec", 0.15, false, &out); code != 0 {
 		t.Fatalf("metric-free baseline: exit %d, want 0\n%s", code, out.String())
 	}
 }

@@ -4,6 +4,44 @@
 // asynchronous handshake between neighbours, as described in §2.1 of the
 // paper. The package also provides the nine packet services the NoC
 // offers to its IP cores.
+//
+// # Event-per-flit streaming
+//
+// The 2-cycle handshake is modelled two ways. The stepped reference
+// evaluates both sides of a link every cycle: the sender drives tx and
+// data, the receiver raises ack for one cycle when it accepts, the
+// sender observes the ack two cycles after driving. The streaming fast
+// path recognises a link in steady state — a wormhole connection
+// established, flits queued behind it, free slack in the receiving
+// buffer — and moves each flit with timer-paced events instead: the
+// receiver pulls on its accept cycles and schedules the sender's
+// completion bookkeeping one cycle later, so neither side is evaluated
+// on cycles where the handshake could not change. Every externally
+// observable effect (buffer pushes and pops, statistics, wire values at
+// connection boundaries, delivery cycles) lands on exactly the cycle
+// the stepped reference produces it, so the two paths are bit-identical
+// on traffic results, router statistics, VCD dumps, and core boot
+// transcripts — the TestStreaming* differentials in this package,
+// internal/traffic, and internal/core pin that equivalence.
+//
+// Streaming engages per link and falls back to the stepped handshake at
+// every boundary it cannot batch across: connection open (header
+// routing and arbitration) and close (tail flit), buffer-full
+// backpressure, links with a VCD trace attached, and clock-domain
+// crossings (a cross-domain link's two halves live on different
+// Clocks). Network.SetFlitStreaming(false) disables it entirely,
+// keeping the stepped path as the differential reference.
+//
+// # Flit metadata
+//
+// A Flit carries only its data word and a PacketID. All per-packet
+// simulation metadata (source, destination, injection and ejection
+// cycles) lives in a metadata table owned by the Network — Network.Meta
+// resolves a PacketID to its *PacketMeta, and the table entry is
+// released when the packet is delivered or dropped. Flits are therefore
+// plain values on wires and in buffers, and the steady-state flit path
+// performs no heap allocation (gated at 0 allocs/op by cmd/benchgate
+// -lower on BenchmarkStreamingSteadyState).
 package noc
 
 import "fmt"
@@ -27,13 +65,25 @@ func (a Addr) Encode() uint16 { return uint16(a.X&0xF)<<4 | uint16(a.Y&0xF) }
 // DecodeAddr is the inverse of Addr.Encode.
 func DecodeAddr(v uint16) Addr { return Addr{X: int(v>>4) & 0xF, Y: int(v) & 0xF} }
 
+// PacketID names a packet in the network-owned metadata table (see
+// Network.Meta). It is the PacketMeta.ID value: a per-shard sequence
+// number with the shard's domain index in the top 16 bits. Zero means
+// "no packet" — the value carried by idle wires and zero Flits.
+type PacketID uint64
+
+// pktSeqBits splits a PacketID into domain (top bits) and per-domain
+// sequence number, matching the encoding of Network.allocMeta.
+const pktSeqBits = 48
+
 // Flit is one flow-control unit travelling over a link. Data carries at
-// most Config.FlitBits significant bits. Meta points at the simulation
-// metadata of the packet the flit belongs to; it models no hardware and
-// exists for statistics and assertions only.
+// most Config.FlitBits significant bits. Pkt indexes the simulation
+// metadata of the packet the flit belongs to in the network's table; it
+// models no hardware and exists for statistics and assertions only.
+// Keeping it an integer (rather than a *PacketMeta) makes Flit
+// pointer-free, so the hot fifo/wire copies carry no GC write barriers.
 type Flit struct {
 	Data uint16
-	Meta *PacketMeta
+	Pkt  PacketID
 }
 
 // PacketMeta records the life cycle of one packet for statistics. All
@@ -86,11 +136,12 @@ func MaxPayload(flitBits int) int {
 // flits flattens the packet into wire-format flits.
 func (p *Packet) flits(flitBits int) []Flit {
 	mask := flitMask(flitBits)
+	id := PacketID(p.Meta.ID)
 	fs := make([]Flit, 0, len(p.Payload)+2)
-	fs = append(fs, Flit{Data: p.Dst.Encode() & mask, Meta: p.Meta})
-	fs = append(fs, Flit{Data: uint16(len(p.Payload)) & mask, Meta: p.Meta})
+	fs = append(fs, Flit{Data: p.Dst.Encode() & mask, Pkt: id})
+	fs = append(fs, Flit{Data: uint16(len(p.Payload)) & mask, Pkt: id})
 	for _, v := range p.Payload {
-		fs = append(fs, Flit{Data: v & mask, Meta: p.Meta})
+		fs = append(fs, Flit{Data: v & mask, Pkt: id})
 	}
 	return fs
 }

@@ -2,6 +2,7 @@ package noc
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/sim"
 )
@@ -82,6 +83,20 @@ func (c Config) Validate() error {
 // network has exactly one shard.
 type netShard struct {
 	nextPktID uint64
+	// metas is the shard's slice of the network-owned packet-metadata
+	// table: metas[seq-1] resolves the PacketID with sequence number
+	// seq. Flits carry PacketIDs instead of *PacketMeta pointers, so
+	// this table is the one place flit indices become metadata. A slot
+	// is nilled once its packet is delivered (no flit references it any
+	// more), keeping retired metadata collectable on long runs.
+	//
+	// metasMu guards metas: on a parallel group run the sending domain
+	// appends while a receiving domain resolves a cross-domain header,
+	// so the slice header must not be read concurrently with growth.
+	// The lock is per packet (alloc, header stamp, delivery), never per
+	// flit, so it stays off the streaming hot path.
+	metasMu   sync.Mutex
+	metas     []*PacketMeta
 	completed []*PacketMeta
 	delivered uint64
 }
@@ -99,6 +114,8 @@ type Network struct {
 	routers   [][]*Router
 	endpoints map[Addr]*Endpoint
 	shards    []netShard
+	links     []*Link // every link view built, for SetFlitStreaming
+	streaming bool    // policy applied to links built from now on
 }
 
 // New builds the mesh and registers every router with clk.
@@ -145,6 +162,7 @@ func buildNet(clk *sim.Clock, g *sim.Group, cfg Config, domainOf func(Addr) int)
 		domainOf:  domainOf,
 		endpoints: make(map[Addr]*Endpoint),
 		shards:    make([]netShard, shards),
+		streaming: true,
 	}
 	n.routers = make([][]*Router, cfg.Width)
 	for x := 0; x < cfg.Width; x++ {
@@ -167,13 +185,13 @@ func buildNet(clk *sim.Clock, g *sim.Group, cfg Config, domainOf func(Addr) int)
 			r := n.routers[x][y]
 			if x+1 < cfg.Width {
 				e := n.routers[x+1][y]
-				connectRouters(r, East, e, West, fmt.Sprintf("l%s-E", r.addr))
-				connectRouters(e, West, r, East, fmt.Sprintf("l%s-W", e.addr))
+				n.connectRouters(r, East, e, West, fmt.Sprintf("l%s-E", r.addr))
+				n.connectRouters(e, West, r, East, fmt.Sprintf("l%s-W", e.addr))
 			}
 			if y+1 < cfg.Height {
 				u := n.routers[x][y+1]
-				connectRouters(r, North, u, South, fmt.Sprintf("l%s-N", r.addr))
-				connectRouters(u, South, r, North, fmt.Sprintf("l%s-S", u.addr))
+				n.connectRouters(r, North, u, South, fmt.Sprintf("l%s-N", r.addr))
+				n.connectRouters(u, South, r, North, fmt.Sprintf("l%s-S", u.addr))
 			}
 		}
 	}
@@ -181,17 +199,50 @@ func buildNet(clk *sim.Clock, g *sim.Group, cfg Config, domainOf func(Addr) int)
 }
 
 // connectRouters wires one unidirectional link from an output port of
-// src to an input port of dst, crossing clock domains when needed.
-func connectRouters(src *Router, outp Port, dst *Router, inp Port, name string) {
+// src to an input port of dst, crossing clock domains when needed. An
+// intra-domain link has both streaming sides registered on one Link
+// object and may batch transfers; the two views of a cross-domain link
+// each see only their own side, so the stream never becomes ready and
+// the link runs the stepped handshake (required: mirror events fire on
+// wire latches, which streaming suppresses).
+func (n *Network) connectRouters(src *Router, outp Port, dst *Router, inp Port, name string) {
 	if src.clk == dst.clk {
 		l := NewLink(src.clk, name)
 		src.connectOut(outp, l)
 		dst.connectIn(inp, l)
+		n.addLink(l)
 		return
 	}
 	s, r := NewCrossLink(src.clk, dst.clk, name)
 	src.connectOut(outp, s)
 	dst.connectIn(inp, r)
+	n.addLink(s)
+	n.addLink(r)
+}
+
+// addLink records a link view and applies the current streaming policy.
+func (n *Network) addLink(l *Link) {
+	n.links = append(n.links, l)
+	if l.stream != nil {
+		l.stream.on = n.streaming
+	}
+}
+
+// SetFlitStreaming enables (the default) or disables the event-per-flit
+// fast path on every link of the network, keeping the per-cycle stepped
+// handshake as the reference path for differential testing — the same
+// role SetActivityScheduling and SetTimeWarp play in the kernel. Both
+// modes are bit-identical in every observable (delivery cycles, router
+// counters, VCD dumps); streaming only changes how much work a
+// steady-state flit costs. Call it before simulating: links already
+// mid-stream keep batching until they fall back to stepped naturally.
+func (n *Network) SetFlitStreaming(on bool) {
+	n.streaming = on
+	for _, l := range n.links {
+		if l.stream != nil {
+			l.stream.on = on
+		}
+	}
 }
 
 // clockAt resolves the clock domain owning address a.
@@ -288,6 +339,25 @@ func (n *Network) newEndpoint(clk *sim.Clock, a Addr) (*Endpoint, error) {
 	n.endpoints[a] = ep
 	clk.Register(ep)
 	ep.self = clk.Handle(ep)
+	// Streaming hooks for the Local links. On the intra-domain path the
+	// router registered its halves in connectIn/connectOut; these are
+	// the endpoint's halves of the same Link objects. Cross-domain
+	// endpoint links (NewEndpointFor) hold distinct view objects whose
+	// streams never become ready, so they stay stepped.
+	sst := toRouter.initStream()
+	sst.sndPeek = func() Flit { return ep.txq[0].f }
+	sst.sndRestage = func() {
+		toRouter.Data.Set(ep.txq[0].f)
+		toRouter.Tx.Set(true)
+		ep.snd.busy, ep.snd.nBusy = true, true
+	}
+	sst.sndSelf = ep.self
+	rst := fromRouter.initStream()
+	rst.rcvSpace = func() bool { return true } // endpoints sink at link rate
+	rst.rcvTake = ep.assemble
+	rst.rcvSelf = ep.self
+	n.addLink(toRouter)
+	n.addLink(fromRouter)
 	return ep, nil
 }
 
@@ -338,9 +408,9 @@ func (n *Network) allocMeta(e *Endpoint, dst Addr, payload int) *PacketMeta {
 	sh.nextPktID++
 	id := sh.nextPktID
 	if e.dom > 0 {
-		id |= uint64(e.dom) << 48
+		id |= uint64(e.dom) << pktSeqBits
 	}
-	return &PacketMeta{
+	m := &PacketMeta{
 		ID:           id,
 		Src:          e.addr,
 		Dst:          dst,
@@ -348,10 +418,42 @@ func (n *Network) allocMeta(e *Endpoint, dst Addr, payload int) *PacketMeta {
 		CreatedCycle: e.clk.Cycle(),
 		Hops:         HopCount(e.addr, dst),
 	}
+	sh.metasMu.Lock()
+	sh.metas = append(sh.metas, m)
+	sh.metasMu.Unlock()
+	return m
+}
+
+// Meta resolves a PacketID carried by a flit to the packet's metadata.
+// It returns nil for the zero PacketID and for packets already
+// delivered (their table slots are released on ejection).
+func (n *Network) Meta(id PacketID) *PacketMeta {
+	if id == 0 {
+		return nil
+	}
+	dom := int(id >> pktSeqBits)
+	seq := uint64(id) & (1<<pktSeqBits - 1)
+	if dom >= len(n.shards) {
+		return nil
+	}
+	sh := &n.shards[dom]
+	sh.metasMu.Lock()
+	defer sh.metasMu.Unlock()
+	if seq == 0 || seq > uint64(len(sh.metas)) {
+		return nil
+	}
+	return sh.metas[seq-1]
 }
 
 func (n *Network) packetDelivered(e *Endpoint, m *PacketMeta) {
 	m.EjectCycle = e.clk.Cycle()
+	// Release the sender-shard table slot: the packet has left the
+	// network, so no flit references its ID any more.
+	src := &n.shards[int(m.ID>>pktSeqBits)]
+	src.metasMu.Lock()
+	src.metas[m.ID&(1<<pktSeqBits-1)-1] = nil
+	src.metasMu.Unlock()
+	// Delivery bookkeeping stays in the receiving endpoint's shard.
 	sh := &n.shards[e.dom]
 	sh.completed = append(sh.completed, m)
 	sh.delivered++

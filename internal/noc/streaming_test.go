@@ -1,0 +1,219 @@
+package noc
+
+import (
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/vcd"
+)
+
+// ledger flattens the completed-packet metadata into (ID, inject,
+// eject) triples keyed by packet ID. Two endpoints delivering on the
+// same cycle append to Completed in active-set evaluation order, which
+// may legitimately differ across kernel modes, so differential tests
+// compare per-packet timing, not append order.
+func ledger(net *Network) []uint64 {
+	ms := append([]*PacketMeta(nil), net.Completed()...)
+	sort.Slice(ms, func(a, b int) bool { return ms[a].ID < ms[b].ID })
+	var lats []uint64
+	for _, m := range ms {
+		lats = append(lats, m.ID, m.InjectCycle, m.EjectCycle)
+	}
+	return lats
+}
+
+// streamRun drives a fixed random workload on a 4x4 mesh and returns
+// everything observable about it: the cycle at which half the packets
+// had been delivered, a full per-router stats snapshot taken at that
+// moment (mid-run, while links stream and routers sleep between
+// scheduled transfers), the final cycle count at quiescence, and the
+// completed-packet ledger. The workload mixes payload sizes so streams
+// engage, drain, hit tails and re-engage continuously.
+func streamRun(t *testing.T, streaming bool) (midCycle uint64, mid []RouterStats, end uint64, lats []uint64) {
+	t.Helper()
+	cfg := Defaults(4, 4)
+	clk, net := build(t, cfg)
+	net.SetFlitStreaming(streaming)
+	r := sim.NewRand(7)
+	const packets = 80
+	for i := 0; i < packets; i++ {
+		src := Addr{r.Intn(4), r.Intn(4)}
+		dst := Addr{r.Intn(4), r.Intn(4)}
+		if _, err := net.Endpoint(src).Send(dst, seq(r.Intn(24)+1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := clk.RunUntil(func() bool { return net.Delivered() >= packets/2 }, 1_000_000); err != nil {
+		t.Fatal(err)
+	}
+	midCycle = clk.Cycle()
+	for x := 0; x < 4; x++ {
+		for y := 0; y < 4; y++ {
+			mid = append(mid, net.Router(Addr{x, y}).Stats())
+		}
+	}
+	if err := clk.RunUntilQuiescent(1_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if net.Delivered() != packets {
+		t.Fatalf("delivered %d/%d", net.Delivered(), packets)
+	}
+	end = clk.Cycle()
+	return midCycle, mid, end, ledger(net)
+}
+
+// TestStreamingMatchesStepped: the event-per-flit fast path must be
+// invisible — same per-packet inject/eject cycles, same mid-run and
+// final router statistics, same quiescence cycle — as the stepped
+// 2-cycle handshake it batches.
+func TestStreamingMatchesStepped(t *testing.T) {
+	sMid, sStats, sEnd, sLats := streamRun(t, true)
+	rMid, rStats, rEnd, rLats := streamRun(t, false)
+	if sMid != rMid || sEnd != rEnd {
+		t.Errorf("cycle counts diverge: streaming mid=%d end=%d, stepped mid=%d end=%d",
+			sMid, sEnd, rMid, rEnd)
+	}
+	for i := range rStats {
+		if sStats[i] != rStats[i] {
+			t.Errorf("router %d mid-run stats diverge:\n  streaming %+v\n  stepped   %+v",
+				i, sStats[i], rStats[i])
+		}
+	}
+	if len(sLats) != len(rLats) {
+		t.Fatalf("packet ledger sizes differ: %d vs %d", len(sLats), len(rLats))
+	}
+	for i := range rLats {
+		if sLats[i] != rLats[i] {
+			t.Fatalf("packet ledgers diverge at %d: streaming %d, stepped %d", i, sLats[i], rLats[i])
+		}
+	}
+}
+
+// TestStreamingFullBufferFallback: with depth-1 buffers and opposing
+// flows fighting over the same column, receivers run out of space
+// constantly, forcing the stream's full-buffer exit (re-present on the
+// wires, fall back to the stepped handshake) over and over. Statistics
+// and deliveries must still match the stepped reference exactly.
+func TestStreamingFullBufferFallback(t *testing.T) {
+	run := func(streaming bool) (uint64, []RouterStats) {
+		cfg := Defaults(1, 4)
+		cfg.BufDepth = 1
+		clk, net := build(t, cfg)
+		net.SetFlitStreaming(streaming)
+		payload := seq(40)
+		for k := 0; k < 3; k++ {
+			if _, err := net.Endpoint(Addr{0, 0}).Send(Addr{0, 3}, payload); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := net.Endpoint(Addr{0, 3}).Send(Addr{0, 0}, payload); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := net.Endpoint(Addr{0, 1}).Send(Addr{0, 2}, payload); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := clk.RunUntilQuiescent(1_000_000); err != nil {
+			t.Fatal(err)
+		}
+		if net.Delivered() != 9 {
+			t.Fatalf("delivered %d/9", net.Delivered())
+		}
+		var stats []RouterStats
+		for y := 0; y < 4; y++ {
+			stats = append(stats, net.Router(Addr{0, y}).Stats())
+		}
+		return clk.Cycle(), stats
+	}
+	sEnd, sStats := run(true)
+	rEnd, rStats := run(false)
+	if sEnd != rEnd {
+		t.Errorf("quiescence cycles diverge: streaming %d, stepped %d", sEnd, rEnd)
+	}
+	for i := range rStats {
+		if sStats[i] != rStats[i] {
+			t.Errorf("router %d stats diverge:\n  streaming %+v\n  stepped   %+v", i, sStats[i], rStats[i])
+		}
+	}
+}
+
+// TestStreamingVCDIdentical: a traced router's links are pinned to the
+// stepped handshake (frozen wires would corrupt the dump), while its
+// untraced neighbours keep streaming. The dump must be byte-identical
+// to a run with streaming disabled everywhere.
+func TestStreamingVCDIdentical(t *testing.T) {
+	run := func(streaming bool) string {
+		cfg := Defaults(3, 1)
+		clk, net := build(t, cfg)
+		net.SetFlitStreaming(streaming)
+		var sb strings.Builder
+		w := vcd.NewWriter(&sb)
+		AttachVCD(net, w, Addr{1, 0})
+		if err := w.Begin(); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := net.Endpoint(Addr{0, 0}).Send(Addr{2, 0}, seq(12)); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := net.Endpoint(Addr{2, 0}).Send(Addr{0, 0}, seq(12)); err != nil {
+			t.Fatal(err)
+		}
+		if err := clk.RunUntilQuiescent(100_000); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		return sb.String()
+	}
+	if s, r := run(true), run(false); s != r {
+		t.Fatalf("VCD dumps diverge:\nstreaming:\n%s\nstepped:\n%s", s, r)
+	}
+}
+
+// TestStreamingDisableMidRun: SetFlitStreaming(false) in the middle of
+// a run must let every in-flight stream exit naturally and the rest of
+// the simulation proceed on the stepped path, with results bit-equal
+// to a run that never streamed.
+func TestStreamingDisableMidRun(t *testing.T) {
+	run := func(toggle bool) (uint64, []uint64) {
+		cfg := Defaults(4, 4)
+		clk, net := build(t, cfg)
+		if !toggle {
+			net.SetFlitStreaming(false)
+		}
+		r := sim.NewRand(13)
+		const packets = 40
+		for i := 0; i < packets; i++ {
+			src := Addr{r.Intn(4), r.Intn(4)}
+			dst := Addr{r.Intn(4), r.Intn(4)}
+			if _, err := net.Endpoint(src).Send(dst, seq(r.Intn(30)+4)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := clk.RunUntil(func() bool { return net.Delivered() >= packets/4 }, 1_000_000); err != nil {
+			t.Fatal(err)
+		}
+		if toggle {
+			net.SetFlitStreaming(false)
+		}
+		if err := clk.RunUntilQuiescent(1_000_000); err != nil {
+			t.Fatal(err)
+		}
+		return clk.Cycle(), ledger(net)
+	}
+	tEnd, tLats := run(true)
+	rEnd, rLats := run(false)
+	if tEnd != rEnd {
+		t.Errorf("quiescence cycles diverge: toggled %d, stepped %d", tEnd, rEnd)
+	}
+	if len(tLats) != len(rLats) {
+		t.Fatalf("packet ledger sizes differ: %d vs %d", len(tLats), len(rLats))
+	}
+	for i := range rLats {
+		if tLats[i] != rLats[i] {
+			t.Fatalf("packet ledgers diverge at %d: toggled %d, stepped %d", i, tLats[i], rLats[i])
+		}
+	}
+}

@@ -89,6 +89,12 @@ type Config struct {
 	// way (see TestTimeWarpMatchesNoWarp); the option exists for
 	// differential tests and speedup benchmarks.
 	NoTimeWarp bool
+	// NoFlitStreaming disables the event-per-flit streaming fast path
+	// for this run: every flit crosses every link via the stepped
+	// 2-cycle tx/ack handshake. Results are bit-identical either way
+	// (see TestStreamingMatchesStepped); the option exists for
+	// differential tests and speedup benchmarks.
+	NoFlitStreaming bool
 	// Domains shards the mesh into that many clock domains (contiguous
 	// column strips); 0 or 1 builds the classic single-domain network.
 	// Sharding alone does not change results: the cross-domain links
@@ -297,6 +303,9 @@ func Run(ncfg noc.Config, tcfg Config) (Result, error) {
 	}
 	if err != nil {
 		return Result{}, err
+	}
+	if tcfg.NoFlitStreaming {
+		net.SetFlitStreaming(false)
 	}
 	// overBudget classifies a cancelled (or budget-straddling) run after
 	// each phase: context errors win, then the cycle budget. The kernel
