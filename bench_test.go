@@ -568,3 +568,90 @@ func BenchmarkAblBaud(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkAblMulticast compares the two multicast delivery mechanisms
+// on an 8x8 mesh with 8-destination groups: path-based forwarding (one
+// wormhole absorbed and re-injected along a canonical column-snake
+// visiting every member, cf. Tiwari's path multicast) against unicast
+// replication (one independent wormhole per destination — the oracle
+// the differentials check against). Both deliver payload-identical
+// copies (TestMulticastPathMatchesUnicastOracle); the benchmark pins
+// the link-traffic saving of the path scheme as wall-clock cost and
+// delivered copies per second.
+func BenchmarkAblMulticast(b *testing.B) {
+	b.ReportAllocs()
+	const simCycles = 500 + 3000 // warmup + measure (drain adds a tail)
+	group := []noc.Addr{
+		{X: 0, Y: 0}, {X: 7, Y: 0}, {X: 3, Y: 2}, {X: 5, Y: 3},
+		{X: 1, Y: 5}, {X: 6, Y: 5}, {X: 0, Y: 7}, {X: 7, Y: 7},
+	}
+	for _, tc := range []struct {
+		name    string
+		unicast bool
+	}{
+		{"path", false},
+		{"unicast", true},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			b.ReportAllocs()
+			cfg := noc.Defaults(8, 8)
+			var copies uint64
+			for i := 0; i < b.N; i++ {
+				var net *noc.Network
+				if _, err := traffic.Run(cfg, traffic.Config{
+					Spec: traffic.PatternSpec{
+						Name: "multicast", Group: group, MulticastUnicast: tc.unicast,
+					},
+					Rate: 0.01, PayloadFlits: 8, Seed: 3,
+					Warmup: 500, Measure: 3000, Drain: 20000,
+					OnNetwork: func(n *noc.Network) { net = n },
+				}); err != nil {
+					b.Fatal(err)
+				}
+				copies = net.MulticastStats().Copies
+			}
+			b.ReportMetric(float64(simCycles)*float64(b.N)/b.Elapsed().Seconds(), "simcycles/sec")
+			b.ReportMetric(float64(copies)*float64(b.N)/b.Elapsed().Seconds(), "copies/sec")
+		})
+	}
+}
+
+// BenchmarkPatternSaturation drives each synthetic pattern of the
+// traffic library at a near-saturation offered load on an 8x8 mesh.
+// The accepted-load metric is the saturation figure each pattern
+// converges to (adversarial permutations saturate far below uniform);
+// simcycles/sec tracks the kernel cost of the pattern's event mix, so
+// a scheduling regression that only bites one destination distribution
+// shows up here rather than in the uniform-only ablations.
+func BenchmarkPatternSaturation(b *testing.B) {
+	b.ReportAllocs()
+	const simCycles = 500 + 2000 // warmup + measure (drain adds a tail)
+	specs := []traffic.PatternSpec{
+		{Name: "uniform"},
+		{Name: "transpose"},
+		{Name: "bitcomp"},
+		{Name: "bitrev"},
+		{Name: "hotspot", Hotspots: []traffic.HotspotSpec{
+			{X: 3, Y: 3, Weight: 0.2}, {X: 4, Y: 4, Weight: 0.2}}},
+		{Name: "bursty", Burst: &traffic.BurstSpec{Len: 8, Peak: 0.45}},
+	}
+	for _, spec := range specs {
+		b.Run(spec.Name, func(b *testing.B) {
+			b.ReportAllocs()
+			cfg := noc.Defaults(8, 8)
+			var accepted float64
+			for i := 0; i < b.N; i++ {
+				res, err := traffic.Run(cfg, traffic.Config{
+					Spec: spec, Rate: 0.30, PayloadFlits: 8, Seed: 3,
+					Warmup: 500, Measure: 2000, Drain: 30000,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				accepted = res.Accepted
+			}
+			b.ReportMetric(float64(simCycles)*float64(b.N)/b.Elapsed().Seconds(), "simcycles/sec")
+			b.ReportMetric(accepted, "accepted-flits/cycle")
+		})
+	}
+}

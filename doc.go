@@ -57,6 +57,19 @@
 // deterministic for a fixed partition and reproduces the lockstep
 // results exactly.
 //
+// Workloads come from a traffic-pattern library
+// (internal/traffic.PatternSpec): uniform, transpose, bit-complement,
+// bit-reverse, weighted multi-spot hotspot, bursty on/off arrivals
+// (geometric burst lengths whose next injection cycle is always known,
+// so bursts warp like everything else), NDJSON trace record/replay,
+// and multicast groups delivered either by path-based forwarding
+// (noc.Endpoint.SendMulti, one wormhole snaking through the group) or
+// by unicast replication as the differential oracle. Patterns are
+// named values, so the same spec selects a workload in traffic.Config,
+// an experiments.TrafficJob swept by sweepd, or a nocsim invocation —
+// and every pattern draws randomness only on injection cycles, keeping
+// results bit-identical across all kernel modes.
+//
 // On top of the kernel sits the design-space sweep service
 // (internal/sweep, cmd/sweepd): an HTTP server that takes batches of
 // serializable simulation configs (experiments.TrafficJob), runs each

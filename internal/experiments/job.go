@@ -32,12 +32,30 @@ type TrafficJob struct {
 	// Routing selects the routing algorithm by name: "xy" (default),
 	// "yx" or "westfirst".
 	Routing string `json:"routing,omitempty"`
-	// Pattern selects the traffic pattern by name: "uniform" (default),
-	// "transpose", "bitcomp" or "hotspot" (with HotspotX/Y/Fraction).
+	// Pattern selects the traffic pattern by name — any name of the
+	// traffic pattern library: "uniform" (default), "transpose",
+	// "bitcomp", "bitrev", "hotspot" (weighted Hotspots, or the legacy
+	// single HotspotX/Y/Fraction spot), "bursty", "trace" (replaying
+	// Trace) or "multicast" (a SendMulti group per injection).
 	Pattern         string  `json:"pattern,omitempty"`
 	HotspotX        int     `json:"hotspotX,omitempty"`
 	HotspotY        int     `json:"hotspotY,omitempty"`
 	HotspotFraction float64 `json:"hotspotFraction,omitempty"`
+	// Hotspots is the weighted hotspot set; when empty, Canonical lifts
+	// the legacy single-spot fields into it.
+	Hotspots []traffic.HotspotSpec `json:"hotspots,omitempty"`
+	// BurstLen and BurstPeak modulate arrivals with the on/off burst
+	// process (zero → library defaults for the "bursty" pattern, no
+	// modulation otherwise).
+	BurstLen  float64 `json:"burstLen,omitempty"`
+	BurstPeak float64 `json:"burstPeak,omitempty"`
+	// Trace is the injection log replayed by the "trace" pattern.
+	Trace []traffic.TraceEntry `json:"trace,omitempty"`
+	// Multicast is the destination set of the "multicast" pattern;
+	// MulticastUnicast delivers it by unicast replication (the oracle
+	// mode) instead of path-based forwarding.
+	Multicast        []noc.Addr `json:"multicast,omitempty"`
+	MulticastUnicast bool       `json:"multicastUnicast,omitempty"`
 	// Load parameters, as in traffic.Config.
 	Rate         float64 `json:"rate"`
 	PayloadFlits int     `json:"payloadFlits,omitempty"`
@@ -94,6 +112,25 @@ func (j TrafficJob) Canonical() TrafficJob {
 	if j.Pattern == "" {
 		j.Pattern = "uniform"
 	}
+	if j.Pattern == "hotspot" && len(j.Hotspots) == 0 {
+		// Lift the legacy single-spot form into the weighted set, so
+		// both forms of the same experiment share one dedupe identity.
+		// A zero fraction is the legacy spelling of uniform traffic.
+		if j.HotspotFraction == 0 {
+			j.Pattern = "uniform"
+		} else {
+			j.Hotspots = []traffic.HotspotSpec{{X: j.HotspotX, Y: j.HotspotY, Weight: j.HotspotFraction}}
+		}
+		j.HotspotX, j.HotspotY, j.HotspotFraction = 0, 0, 0
+	}
+	if j.Pattern == "bursty" || j.BurstLen != 0 || j.BurstPeak != 0 {
+		if j.BurstLen == 0 {
+			j.BurstLen = 8
+		}
+		if j.BurstPeak == 0 {
+			j.BurstPeak = 0.5
+		}
+	}
 	if j.PayloadFlits == 0 {
 		j.PayloadFlits = 8
 	}
@@ -139,28 +176,21 @@ func (j TrafficJob) NoCConfig() (noc.Config, error) {
 	}, nil
 }
 
-// pattern resolves the job's traffic pattern against the mesh.
-func (j TrafficJob) pattern(ncfg noc.Config) (traffic.Pattern, error) {
-	switch j.Pattern {
-	case "", "uniform":
-		return traffic.Uniform, nil
-	case "transpose":
-		return traffic.Transpose, nil
-	case "bitcomp":
-		return traffic.BitComplement, nil
-	case "hotspot":
-		spot := noc.Addr{X: j.HotspotX, Y: j.HotspotY}
-		if spot.X < 0 || spot.X >= ncfg.Width || spot.Y < 0 || spot.Y >= ncfg.Height {
-			return nil, fmt.Errorf("experiments: hotspot %s outside the %dx%d mesh",
-				spot, ncfg.Width, ncfg.Height)
-		}
-		if j.HotspotFraction < 0 || j.HotspotFraction > 1 {
-			return nil, fmt.Errorf("experiments: hotspot fraction %v outside [0,1]", j.HotspotFraction)
-		}
-		return traffic.Hotspot(spot, j.HotspotFraction), nil
-	default:
-		return nil, fmt.Errorf("experiments: unknown pattern %q", j.Pattern)
+// patternSpec assembles the traffic pattern spec of the (canonical)
+// job. Pattern-parameter validation lives in traffic.PatternSpec
+// .Validate, reached through Config.Validate.
+func (j TrafficJob) patternSpec() traffic.PatternSpec {
+	s := traffic.PatternSpec{
+		Name:             j.Pattern,
+		Hotspots:         j.Hotspots,
+		Trace:            j.Trace,
+		Group:            j.Multicast,
+		MulticastUnicast: j.MulticastUnicast,
 	}
+	if j.BurstLen != 0 || j.BurstPeak != 0 {
+		s.Burst = &traffic.BurstSpec{Len: j.BurstLen, Peak: j.BurstPeak}
+	}
+	return s
 }
 
 // Validate reports the first reason the job cannot run, nil when it is
@@ -172,28 +202,21 @@ func (j TrafficJob) Validate() error {
 	if err != nil {
 		return err
 	}
-	tcfg, err := c.trafficConfig(ncfg)
-	if err != nil {
-		return err
-	}
-	return tcfg.Validate(ncfg)
+	return c.trafficConfig().Validate(ncfg)
 }
 
 // trafficConfig assembles the traffic.Config for the (canonical) job.
-func (j TrafficJob) trafficConfig(ncfg noc.Config) (traffic.Config, error) {
-	pat, err := j.pattern(ncfg)
-	if err != nil {
-		return traffic.Config{}, err
-	}
+// Mesh-dependent pattern checks run in traffic.Config.Validate.
+func (j TrafficJob) trafficConfig() traffic.Config {
 	domains := j.Domains
 	if domains == 1 {
 		domains = 0
 	}
 	return traffic.Config{
-		Pattern: pat, Rate: j.Rate, PayloadFlits: j.PayloadFlits,
+		Spec: j.patternSpec(), Rate: j.Rate, PayloadFlits: j.PayloadFlits,
 		Seed: j.Seed, Warmup: j.Warmup, Measure: j.Measure, Drain: j.Drain,
 		QueueCap: j.QueueCap, Domains: domains, Parallel: j.Parallel,
-	}, nil
+	}
 }
 
 // Run executes the job: an independent sim.Clock (or sharded Group),
@@ -208,10 +231,7 @@ func (j TrafficJob) Run(ctx context.Context, maxCycles uint64) (traffic.Result, 
 	if err != nil {
 		return traffic.Result{}, err
 	}
-	tcfg, err := c.trafficConfig(ncfg)
-	if err != nil {
-		return traffic.Result{}, err
-	}
+	tcfg := c.trafficConfig()
 	tcfg.Ctx = ctx
 	tcfg.MaxCycles = maxCycles
 	return traffic.Run(ncfg, tcfg)

@@ -4,8 +4,10 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
+	"reflect"
 	"testing"
 
+	"repro/internal/noc"
 	"repro/internal/traffic"
 )
 
@@ -14,15 +16,32 @@ func TestTrafficJobCanonicalIsStable(t *testing.T) {
 	// flag, so jobs differing only in Parallel share an identity.
 	j := TrafficJob{Rate: 0.05, Seed: 3, Parallel: true}
 	c := j.Canonical()
-	if c != c.Canonical() {
+	if !reflect.DeepEqual(c, c.Canonical()) {
 		t.Fatalf("Canonical not idempotent: %+v vs %+v", c, c.Canonical())
 	}
 	if c.Parallel {
 		t.Fatal("Canonical kept Parallel")
 	}
 	serial := TrafficJob{Rate: 0.05, Seed: 3}
-	if c != serial.Canonical() {
+	if !reflect.DeepEqual(c, serial.Canonical()) {
 		t.Fatalf("parallel and serial jobs canonicalize differently:\n%+v\n%+v", c, serial.Canonical())
+	}
+	// The legacy single-spot hotspot form and its weighted spelling
+	// share a canonical identity, and the burst fields default for
+	// bursty jobs — Canonical stays idempotent through both rewrites.
+	legacy := TrafficJob{Rate: 0.05, Pattern: "hotspot", HotspotX: 2, HotspotY: 1, HotspotFraction: 0.3}
+	weighted := TrafficJob{Rate: 0.05, Pattern: "hotspot",
+		Hotspots: []traffic.HotspotSpec{{X: 2, Y: 1, Weight: 0.3}}}
+	if !reflect.DeepEqual(legacy.Canonical(), weighted.Canonical()) {
+		t.Fatalf("hotspot forms canonicalize differently:\n%+v\n%+v",
+			legacy.Canonical(), weighted.Canonical())
+	}
+	bursty := (TrafficJob{Rate: 0.05, Pattern: "bursty"}).Canonical()
+	if bursty.BurstLen != 8 || bursty.BurstPeak != 0.5 {
+		t.Fatalf("bursty job missing burst defaults: %+v", bursty)
+	}
+	if !reflect.DeepEqual(bursty, bursty.Canonical()) {
+		t.Fatalf("Canonical not idempotent on bursty: %+v vs %+v", bursty, bursty.Canonical())
 	}
 }
 
@@ -40,8 +59,28 @@ func TestTrafficJobSurvivesJSONRoundTrip(t *testing.T) {
 	if err := json.Unmarshal(bs, &back); err != nil {
 		t.Fatalf("unmarshal: %v", err)
 	}
-	if back != j {
+	if !reflect.DeepEqual(back, j) {
 		t.Fatalf("round trip changed the job:\n got %+v\nwant %+v", back, j)
+	}
+	// The pattern-library fields survive the round trip too.
+	rich := TrafficJob{
+		Rate: 0.05, Pattern: "multicast",
+		Multicast:        []noc.Addr{{X: 1, Y: 2}, {X: 3, Y: 0}},
+		MulticastUnicast: true,
+		Hotspots:         []traffic.HotspotSpec{{X: 4, Y: 4, Weight: 0.2}},
+		BurstLen:         6, BurstPeak: 0.4,
+		Trace: []traffic.TraceEntry{{Cycle: 7, Src: noc.Addr{X: 0, Y: 0}, Dst: noc.Addr{X: 1, Y: 1}, Payload: 3}},
+	}
+	bs, err = json.Marshal(rich)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	var richBack TrafficJob
+	if err := json.Unmarshal(bs, &richBack); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if !reflect.DeepEqual(richBack, rich) {
+		t.Fatalf("round trip changed the job:\n got %+v\nwant %+v", richBack, rich)
 	}
 }
 
@@ -55,8 +94,18 @@ func TestTrafficJobValidate(t *testing.T) {
 		{Rate: 0.05, Width: 40},
 		{Rate: 0.05, Routing: "zigzag"},
 		{Rate: 0.05, Pattern: "nope"},
-		{Rate: 0.05, Pattern: "hotspot", HotspotX: 99},
+		{Rate: 0.05, Pattern: "hotspot", HotspotX: 99, HotspotFraction: 0.3},
 		{Rate: 0.05, Pattern: "hotspot", HotspotFraction: 2},
+		{Rate: 0.05, Pattern: "hotspot", Hotspots: []traffic.HotspotSpec{
+			{X: 1, Y: 1, Weight: 0.7}, {X: 2, Y: 2, Weight: 0.7}}},
+		{Rate: 0.05, Pattern: "bitrev", Width: 6, Height: 6},
+		{Rate: 0.05, Pattern: "bursty", BurstPeak: 0.05},
+		{Rate: 0.05, Pattern: "bursty", BurstLen: 0.2},
+		{Rate: 0.05, Pattern: "trace"},
+		{Rate: 0.05, Pattern: "trace", Trace: []traffic.TraceEntry{
+			{Cycle: 1, Src: noc.Addr{X: 0, Y: 0}, Dst: noc.Addr{X: 20, Y: 0}, Payload: 1}}},
+		{Rate: 0.05, Pattern: "multicast"},
+		{Rate: 0.05, Pattern: "multicast", Multicast: []noc.Addr{{X: 1, Y: 1}, {X: 1, Y: 1}}},
 		{Rate: 0.05, Measure: -5},
 		{Rate: 0.05, Domains: 100},
 		{Rate: 0.05, FlitBits: 13},
@@ -64,6 +113,45 @@ func TestTrafficJobValidate(t *testing.T) {
 	for i, j := range bad {
 		if err := j.Validate(); err == nil {
 			t.Errorf("case %d: Validate accepted %+v", i, j)
+		}
+	}
+	good := []TrafficJob{
+		{Rate: 0.05, Pattern: "bitrev"},
+		{Rate: 0.05, Pattern: "bursty"},
+		{Rate: 0.05, Pattern: "transpose", BurstLen: 4, BurstPeak: 0.4},
+		{Rate: 0.05, Pattern: "multicast", Multicast: []noc.Addr{{X: 1, Y: 1}, {X: 7, Y: 7}}},
+		{Rate: 0.05, Pattern: "trace", Trace: []traffic.TraceEntry{
+			{Cycle: 1, Src: noc.Addr{X: 0, Y: 0}, Dst: noc.Addr{X: 1, Y: 1}, Payload: 1}}},
+	}
+	for i, j := range good {
+		if err := j.Validate(); err != nil {
+			t.Errorf("good case %d rejected: %v", i, err)
+		}
+	}
+}
+
+// TestTrafficJobPatternLibraryRuns: each pattern name runs end to end
+// through the job adapter and measures traffic.
+func TestTrafficJobPatternLibraryRuns(t *testing.T) {
+	jobs := []TrafficJob{
+		{Width: 4, Height: 4, Rate: 0.04, PayloadFlits: 4, Seed: 3,
+			Warmup: 100, Measure: 800, Drain: 10000, Pattern: "bitrev"},
+		{Width: 4, Height: 4, Rate: 0.04, PayloadFlits: 4, Seed: 3,
+			Warmup: 100, Measure: 800, Drain: 10000, Pattern: "bursty"},
+		{Width: 4, Height: 4, Rate: 0.02, PayloadFlits: 4, Seed: 3,
+			Warmup: 100, Measure: 800, Drain: 10000, Pattern: "multicast",
+			Multicast: []noc.Addr{{X: 0, Y: 3}, {X: 3, Y: 0}}},
+		{Width: 4, Height: 4, Rate: 0.04, PayloadFlits: 4, Seed: 3,
+			Warmup: 100, Measure: 800, Drain: 10000, Pattern: "hotspot",
+			Hotspots: []traffic.HotspotSpec{{X: 3, Y: 3, Weight: 0.25}, {X: 0, Y: 0, Weight: 0.25}}},
+	}
+	for _, j := range jobs {
+		res, err := j.Run(context.Background(), 0)
+		if err != nil {
+			t.Fatalf("%s: %v", j.Pattern, err)
+		}
+		if res.MeasuredPackets == 0 {
+			t.Errorf("%s: job measured no packets", j.Pattern)
 		}
 	}
 }

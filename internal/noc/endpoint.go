@@ -2,6 +2,7 @@ package noc
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/sim"
 )
@@ -27,6 +28,7 @@ type Endpoint struct {
 
 	txq    []txFlit // committed outgoing flit stream
 	stSend []txFlit // staged by Send, moved to txq at Commit
+	stFwd  []txFlit // staged by path-multicast forwarding (see Commit)
 	popped int      // flits of txq accepted this Eval
 
 	rxPhase     int
@@ -58,25 +60,130 @@ func (e *Endpoint) SetOwner(c sim.Component) { e.owner = c }
 // of the mesh and the payload length must not exceed MaxPayload for the
 // network's flit width.
 func (e *Endpoint) Send(dst Addr, payload []uint16) (*PacketMeta, error) {
+	if err := e.checkSend(dst, payload); err != nil {
+		return nil, err
+	}
+	meta := e.net.allocMeta(e, dst, len(payload))
+	e.stagePacket(meta, dst, payload, false)
+	return meta, nil
+}
+
+// checkSend validates one destination/payload pair against the mesh.
+func (e *Endpoint) checkSend(dst Addr, payload []uint16) error {
 	if dst.X < 0 || dst.X >= e.net.cfg.Width || dst.Y < 0 || dst.Y >= e.net.cfg.Height {
-		return nil, fmt.Errorf("noc: destination %s outside the %dx%d mesh",
+		return fmt.Errorf("noc: destination %s outside the %dx%d mesh",
 			dst, e.net.cfg.Width, e.net.cfg.Height)
 	}
 	if len(payload) > MaxPayload(e.net.cfg.FlitBits) {
-		return nil, fmt.Errorf("noc: payload of %d flits exceeds max %d",
+		return fmt.Errorf("noc: payload of %d flits exceeds max %d",
 			len(payload), MaxPayload(e.net.cfg.FlitBits))
 	}
-	meta := e.net.allocMeta(e, dst, len(payload))
+	return nil
+}
+
+// stagePacket flattens an already-validated packet into the staged
+// injection queue. It is the shared tail of Send, SendMulti and the
+// path-multicast forwarding done in complete. Forwarded legs
+// (forward=true) are staged in a separate buffer that Commit merges
+// ahead of same-cycle Sends: the two stagers run in different
+// components' Eval phases, so without a fixed merge order the txq
+// order would depend on the kernel's evaluation order.
+func (e *Endpoint) stagePacket(meta *PacketMeta, dst Addr, payload []uint16, forward bool) {
 	p := Packet{Src: e.addr, Dst: dst, Payload: payload, Meta: meta}
 	flits := p.flits(e.net.cfg.FlitBits)
+	q := &e.stSend
+	if forward {
+		q = &e.stFwd
+	}
 	for i, fl := range flits {
-		e.stSend = append(e.stSend, txFlit{f: fl, header: i == 0, tail: i == len(flits)-1})
+		*q = append(*q, txFlit{f: fl, header: i == 0, tail: i == len(flits)-1})
 	}
 	// A sleeping endpoint must join the current edge so the staged
 	// flits commit to the injection queue this cycle, exactly as they
 	// would under dense evaluation.
 	e.self.Wake()
-	return meta, nil
+}
+
+// SendMulti stages one payload for delivery to a set of destinations,
+// as a multicast group (see MulticastMeta for the two delivery modes).
+// Destinations must be distinct routers of the mesh; a destination with
+// no endpoint attached cannot absorb a copy and is counted as dropped
+// rather than wedging the worm. The group's visit order is the
+// canonical column-snake path over the destination set, independent of
+// the order dsts was passed in.
+func (e *Endpoint) SendMulti(dsts []Addr, payload []uint16) (*MulticastMeta, error) {
+	if len(dsts) == 0 {
+		return nil, fmt.Errorf("noc: empty multicast destination set")
+	}
+	seen := make(map[Addr]bool, len(dsts))
+	for _, d := range dsts {
+		if err := e.checkSend(d, payload); err != nil {
+			return nil, err
+		}
+		if seen[d] {
+			return nil, fmt.Errorf("noc: duplicate multicast destination %s", d)
+		}
+		seen[d] = true
+	}
+	g := &MulticastMeta{
+		Src:          e.addr,
+		CreatedCycle: e.clk.Cycle(),
+		Path:         e.net.pathMcast,
+	}
+	for _, d := range MulticastPath(dsts) {
+		if e.net.endpoints[d] == nil {
+			g.Dropped++
+			continue
+		}
+		g.Dsts = append(g.Dsts, d)
+	}
+	prev := e.addr
+	for i, d := range g.Dsts {
+		m := e.net.allocMeta(e, d, len(payload))
+		m.MC, m.MCIndex = g, i
+		if g.Path {
+			m.Hops = HopCount(prev, d)
+			prev = d
+		}
+		g.Legs = append(g.Legs, m)
+	}
+	if len(g.Legs) > 0 {
+		g.ID = g.Legs[0].ID
+	}
+	sh := &e.net.shards[e.dom]
+	sh.mcGroups++
+	sh.mcDropped += uint64(g.Dropped)
+	if g.Path {
+		if len(g.Legs) > 0 {
+			e.stagePacket(g.Legs[0], g.Dsts[0], payload, false)
+		}
+	} else {
+		for i := range g.Legs {
+			e.stagePacket(g.Legs[i], g.Dsts[i], payload, false)
+		}
+	}
+	return g, nil
+}
+
+// MulticastPath orders a destination set into the canonical visit path
+// of path-based multicast: a column-snake — columns west to east, rows
+// climbing on even columns and descending on odd ones — so consecutive
+// stops stay close on the mesh and the order is a deterministic
+// function of the set alone. The input slice is not modified.
+func MulticastPath(dsts []Addr) []Addr {
+	path := make([]Addr, len(dsts))
+	copy(path, dsts)
+	sort.Slice(path, func(i, j int) bool {
+		a, b := path[i], path[j]
+		if a.X != b.X {
+			return a.X < b.X
+		}
+		if a.X%2 == 0 {
+			return a.Y < b.Y
+		}
+		return a.Y > b.Y
+	})
+	return path
 }
 
 // Clock returns the endpoint's clock domain (the attached router's, or
@@ -190,9 +297,17 @@ func (e *Endpoint) complete() {
 	payload := make([]uint16, len(e.rxPayload))
 	copy(payload, e.rxPayload)
 	var src Addr
-	if e.rxMeta != nil {
-		src = e.rxMeta.Src
-		e.net.packetDelivered(e, e.rxMeta)
+	if m := e.rxMeta; m != nil {
+		src = m.Src
+		e.net.packetDelivered(e, m)
+		if g := m.MC; g != nil && g.Path && m.MCIndex+1 < len(g.Dsts) {
+			// Path-based multicast: this endpoint was an intermediate
+			// stop. Absorb the copy (staged below like any delivery) and
+			// re-inject the payload towards the next destination on the
+			// path, under the next leg's pre-allocated metadata.
+			next := m.MCIndex + 1
+			e.stagePacket(g.Legs[next], g.Dsts[next], payload, true)
+		}
 	}
 	e.stRxDone = append(e.stRxDone, Packet{Src: src, Dst: e.addr, Payload: payload, Meta: e.rxMeta})
 	e.rxPhase = phaseHeader
@@ -208,7 +323,7 @@ func (e *Endpoint) complete() {
 // rising tx of the link from its router (watched in NewEndpoint), or by
 // the wakes its links' streams arm for each scheduled transfer.
 func (e *Endpoint) Idle() bool {
-	if len(e.stSend) != 0 {
+	if len(e.stSend) != 0 || len(e.stFwd) != 0 {
 		return false
 	}
 	nextEval := e.clk.Cycle() + 1
@@ -229,6 +344,13 @@ func (e *Endpoint) Commit() {
 	if e.popped > 0 {
 		e.txq = e.txq[e.popped:]
 		e.popped = 0
+	}
+	// Forwarded multicast legs enqueue ahead of same-cycle Sends: a
+	// fixed merge order, so the txq is independent of the order the
+	// kernel evaluated the endpoint and its owner this cycle.
+	if len(e.stFwd) > 0 {
+		e.txq = append(e.txq, e.stFwd...)
+		e.stFwd = e.stFwd[:0]
 	}
 	if len(e.stSend) > 0 {
 		e.txq = append(e.txq, e.stSend...)

@@ -42,6 +42,21 @@
 // plain values on wires and in buffers, and the steady-state flit path
 // performs no heap allocation (gated at 0 allocs/op by cmd/benchgate
 // -lower on BenchmarkStreamingSteadyState).
+//
+// # Multicast
+//
+// Endpoint.SendMulti delivers one payload to a destination group. The
+// default mechanism is path-based (cf. Tiwari's path multicast for
+// Hermes): the group is ordered along a canonical column-snake walk of
+// the mesh, one wormhole travels to the first member, and each member's
+// endpoint absorbs the packet and re-injects it toward the next — so a
+// k-member group costs k unicast legs laid end to end rather than k
+// independent source-rooted wormholes. SetPathMulticast(false) switches
+// to unicast replication, which serves as the differential oracle: both
+// mechanisms deliver payload-identical copies to the same members
+// (TestMulticastPathMatchesUnicastOracle), and each is itself
+// bit-identical across every kernel mode. MulticastStats counts groups,
+// delivered copies, and destinations dropped for lacking an endpoint.
 package noc
 
 import "fmt"
@@ -95,7 +110,9 @@ type PacketMeta struct {
 	// Len is the total number of flits: header + size + payload.
 	Len int
 	// CreatedCycle is when the sender committed the packet to its
-	// injection queue.
+	// injection queue. For a multicast leg it is the cycle SendMulti
+	// created the whole group, so TotalLatency measures group creation
+	// to that destination's delivery.
 	CreatedCycle uint64
 	// InjectCycle is when the local router accepted the header flit.
 	InjectCycle uint64
@@ -103,8 +120,56 @@ type PacketMeta struct {
 	// flit.
 	EjectCycle uint64
 	// Hops is the number of routers traversed (source and target
-	// included), filled in by the network from the mesh geometry.
+	// included), filled in by the network from the mesh geometry. For a
+	// path-multicast leg it counts from the previous path stop, not the
+	// original source.
 	Hops int
+	// MC links a multicast leg to its group record, nil for unicast
+	// packets; MCIndex is the leg's destination index in MC.Dsts.
+	MC      *MulticastMeta
+	MCIndex int
+}
+
+// MulticastMeta records one multicast group: a single SendMulti call
+// delivering one payload to a set of destinations. Delivery happens in
+// one of two modes, frozen per group at send time (see
+// Network.SetPathMulticast): path-based — the packet visits the
+// destinations along a canonical Hamiltonian-style path, each
+// intermediate endpoint absorbing a copy and re-injecting the payload
+// towards the next stop (cf. Tiwari et al.'s path-based multicast) —
+// or unicast replication, the reference oracle, where the source stages
+// one independent unicast copy per destination. Either way each
+// destination has its own leg PacketMeta, so per-destination latency
+// and delivery cycles read off the ordinary packet machinery.
+type MulticastMeta struct {
+	// ID is the group identity: the first leg's packet ID.
+	ID  uint64
+	Src Addr
+	// Dsts is the deliverable destination set in path (visit) order.
+	Dsts []Addr
+	// Legs holds one PacketMeta per destination, index-aligned with
+	// Dsts. In path mode leg i+1's flits only exist once leg i was
+	// delivered; the metadata is pre-allocated at SendMulti so callers
+	// can watch every destination from the start.
+	Legs []*PacketMeta
+	// CreatedCycle is when SendMulti staged the group.
+	CreatedCycle uint64
+	// Path records the delivery mode the group was sent under.
+	Path bool
+	// Dropped counts requested destinations that were skipped at send
+	// time because no endpoint exists there.
+	Dropped int
+}
+
+// DeliveredAll reports whether every deliverable destination has
+// received its copy.
+func (g *MulticastMeta) DeliveredAll() bool {
+	for _, m := range g.Legs {
+		if m.EjectCycle == 0 {
+			return false
+		}
+	}
+	return true
 }
 
 // NetworkLatency is the cycles from header injection to tail delivery.

@@ -99,6 +99,13 @@ type netShard struct {
 	metas     []*PacketMeta
 	completed []*PacketMeta
 	delivered uint64
+	// Multicast counters. mcGroups/mcDropped are bumped by the sending
+	// endpoint's SendMulti (source shard); mcCopies by each delivering
+	// endpoint (receiver shard) — the same ownership split as
+	// nextPktID/delivered, so no extra locking is needed.
+	mcGroups  uint64
+	mcCopies  uint64
+	mcDropped uint64
 }
 
 // Network is a complete Hermes mesh: routers, inter-router links and the
@@ -116,6 +123,7 @@ type Network struct {
 	shards    []netShard
 	links     []*Link // every link view built, for SetFlitStreaming
 	streaming bool    // policy applied to links built from now on
+	pathMcast bool    // SendMulti mode: path-based vs unicast replication
 }
 
 // New builds the mesh and registers every router with clk.
@@ -163,6 +171,7 @@ func buildNet(clk *sim.Clock, g *sim.Group, cfg Config, domainOf func(Addr) int)
 		endpoints: make(map[Addr]*Endpoint),
 		shards:    make([]netShard, shards),
 		streaming: true,
+		pathMcast: true,
 	}
 	n.routers = make([][]*Router, cfg.Width)
 	for x := 0; x < cfg.Width; x++ {
@@ -243,6 +252,39 @@ func (n *Network) SetFlitStreaming(on bool) {
 			l.stream.on = on
 		}
 	}
+}
+
+// SetPathMulticast selects the delivery mode of subsequent SendMulti
+// calls: path-based (the default) routes one packet along a canonical
+// path visiting every destination, each intermediate endpoint absorbing
+// a copy and re-injecting towards the next stop; disabled, SendMulti
+// falls back to unicast replication — one independent copy per
+// destination staged at the source — which is the reference oracle the
+// multicast differential tests compare against. Groups already in
+// flight keep the mode they were sent under.
+func (n *Network) SetPathMulticast(on bool) { n.pathMcast = on }
+
+// MulticastStats aggregates multicast activity across the network.
+type MulticastStats struct {
+	// Groups counts SendMulti calls accepted.
+	Groups uint64
+	// Copies counts per-destination deliveries completed.
+	Copies uint64
+	// Dropped counts requested destinations skipped at send time
+	// because no endpoint exists at the address.
+	Dropped uint64
+}
+
+// MulticastStats reports the delivered/dropped multicast counters,
+// summed over the network's shards.
+func (n *Network) MulticastStats() MulticastStats {
+	var s MulticastStats
+	for i := range n.shards {
+		s.Groups += n.shards[i].mcGroups
+		s.Copies += n.shards[i].mcCopies
+		s.Dropped += n.shards[i].mcDropped
+	}
+	return s
 }
 
 // clockAt resolves the clock domain owning address a.
@@ -457,4 +499,7 @@ func (n *Network) packetDelivered(e *Endpoint, m *PacketMeta) {
 	sh := &n.shards[e.dom]
 	sh.completed = append(sh.completed, m)
 	sh.delivered++
+	if m.MC != nil {
+		sh.mcCopies++
+	}
 }

@@ -9,6 +9,8 @@ import (
 	"strconv"
 	"testing"
 
+	"repro/internal/experiments"
+	"repro/internal/noc"
 	"repro/internal/traffic"
 )
 
@@ -162,4 +164,86 @@ func TestHTTPErrorMapping(t *testing.T) {
 		t.Errorf("idempotent resubmit: %d, want 202", resp.StatusCode)
 	}
 	resp.Body.Close()
+}
+
+// TestHTTPPatternSweep: malformed pattern-library parameters are caught
+// at submission time — no worker is spent before the 400 — and a batch
+// sweeping several pattern names runs to completion on the real
+// simulator with measured results for every job.
+func TestHTTPPatternSweep(t *testing.T) {
+	s, err := NewService(Config{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer drain(t, s)
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	spec := func(mut func(*experiments.TrafficJob)) JobSpec {
+		js := testSpec(0.04, 7)
+		mut(&js.TrafficJob)
+		return js
+	}
+
+	bad := []JobSpec{
+		spec(func(j *experiments.TrafficJob) { // hotspot weights sum > 1
+			j.Pattern = "hotspot"
+			j.Hotspots = []traffic.HotspotSpec{
+				{X: 1, Y: 1, Weight: 0.7}, {X: 2, Y: 2, Weight: 0.7}}
+		}),
+		spec(func(j *experiments.TrafficJob) { // empty multicast set
+			j.Pattern = "multicast"
+		}),
+		spec(func(j *experiments.TrafficJob) { // trace entry off the mesh
+			j.Pattern = "trace"
+			j.Trace = []traffic.TraceEntry{
+				{Cycle: 1, Dst: noc.Addr{X: 9, Y: 0}, Payload: 1}}
+		}),
+		spec(func(j *experiments.TrafficJob) { // rate at the burst peak
+			j.Pattern = "bursty"
+			j.BurstPeak = 0.04
+		}),
+	}
+	for i, js := range bad {
+		resp := postBatch(t, srv.URL, SubmitRequest{Jobs: []JobSpec{js}})
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("bad pattern %d: %d, want 400", i, resp.StatusCode)
+		}
+		resp.Body.Close()
+	}
+
+	jobs := []JobSpec{
+		spec(func(j *experiments.TrafficJob) { j.Pattern = "bitrev" }),
+		spec(func(j *experiments.TrafficJob) { j.Pattern = "transpose" }),
+		spec(func(j *experiments.TrafficJob) { j.Pattern = "bursty"; j.Rate = 0.03 }),
+		spec(func(j *experiments.TrafficJob) {
+			j.Pattern = "multicast"
+			j.Rate = 0.02
+			j.Multicast = []noc.Addr{{X: 0, Y: 3}, {X: 3, Y: 0}, {X: 3, Y: 3}}
+		}),
+	}
+	resp := postBatch(t, srv.URL, SubmitRequest{ID: "patterns", Jobs: jobs})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("pattern batch: %d, want 202", resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	resp, err = http.Get(srv.URL + "/v1/batches/patterns?wait=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	final := decode[BatchSnapshot](t, resp)
+	if !final.Done || len(final.Jobs) != len(jobs) {
+		t.Fatalf("pattern batch did not finish: %+v", final)
+	}
+	for i, js := range final.Jobs {
+		r, err := http.Get(srv.URL + "/v1/jobs/" + js.Key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rec := decode[JobRecord](t, r)
+		if rec.Status != StatusDone || rec.Result == nil || rec.Result.MeasuredPackets == 0 {
+			t.Errorf("pattern job %d: %+v, want done with measured traffic", i, rec)
+		}
+	}
 }

@@ -1,9 +1,27 @@
 // Package traffic provides synthetic workload generation and
 // measurement harnesses for Hermes NoC experiments: injection-rate
-// sweeps under classic patterns (uniform, transpose, bit-complement,
-// hotspot), single-packet latency probes for validating the paper's
-// latency formula, and the five-connection peak-throughput setup behind
-// the 1 Gbit/s router claim (§2.1).
+// sweeps under a library of traffic patterns, single-packet latency
+// probes for validating the paper's latency formula, and the
+// five-connection peak-throughput setup behind the 1 Gbit/s router
+// claim (§2.1).
+//
+// # Pattern library
+//
+// Patterns are selected by name through PatternSpec (Config.Spec), so a
+// workload survives a JSON round trip and sweeps by name: "uniform",
+// "transpose", "bitcomp" and "bitrev" are the classic permutations;
+// "hotspot" draws destinations from a weighted spot set with the
+// remaining probability uniform; "bursty" modulates arrivals with an
+// on/off process (geometric burst lengths, rate-conserving off gaps)
+// whose next injection cycle is always known, so it composes with the
+// time-warp kernel; "trace" replays an NDJSON injection log recorded by
+// RunRecorded (identical injections reproduce a bit-identical Result);
+// and "multicast" sends every packet to a destination group via
+// noc.Endpoint.SendMulti — path-based forwarding by default, unicast
+// replication as the differential oracle. Every pattern draws its
+// randomness only on injection cycles, which keeps the RNG stream — and
+// therefore the Result — bit-identical across all kernel modes
+// (TestPatternCrossKernelIdentical).
 package traffic
 
 import (
@@ -63,6 +81,16 @@ func Hotspot(spot noc.Addr, fraction float64) Pattern {
 type Config struct {
 	// Pattern picks destinations (Uniform if nil).
 	Pattern Pattern
+	// Spec selects a pattern by name with parameters — the serializable
+	// form used by sweep jobs and command-line flags. A non-empty
+	// Spec.Name overrides Pattern and may also change the arrival
+	// process (bursty, trace) or switch injection to multicast groups.
+	Spec PatternSpec
+	// OnNetwork, when non-nil, is called with the freshly built network
+	// (endpoints and injectors attached) before the first cycle runs —
+	// an instrumentation hook for differential tests to attach VCD
+	// probes or capture router statistics.
+	OnNetwork func(*noc.Network)
 	// Rate is the offered load in flits/cycle/node (link capacity is
 	// 0.5 flits/cycle, so saturation sits well below that).
 	Rate float64
@@ -151,9 +179,17 @@ func (c Config) Validate(ncfg noc.Config) error {
 		return fmt.Errorf("traffic: negative domain count %d", c.Domains)
 	case c.Domains > ncfg.Width:
 		return fmt.Errorf("traffic: %d domains exceed the mesh's %d column strips", c.Domains, ncfg.Width)
-	default:
-		return nil
 	}
+	if c.Spec.Name != "" {
+		if err := c.Spec.Validate(ncfg); err != nil {
+			return err
+		}
+		if b := c.Spec.resolveBurst(); b != nil && c.Rate >= b.Peak {
+			return fmt.Errorf("traffic: offered rate %v must stay below the burst peak rate %v",
+				c.Rate, b.Peak)
+		}
+	}
+	return nil
 }
 
 // Result reports a load experiment.
@@ -172,15 +208,32 @@ type Result struct {
 	MeasuredPackets int
 }
 
-// injector drives one node's Bernoulli packet process as a clocked
+// injMode selects an injector's arrival process.
+type injMode int
+
+const (
+	// modeGap is the Bernoulli reference: geometric gaps at the
+	// configured rate.
+	modeGap injMode = iota
+	// modeBurst is the on/off process of BurstSpec: geometric gaps at
+	// the peak rate while a burst lasts, a longer geometric off period
+	// between bursts, tuned so the long-run offered rate matches.
+	modeBurst
+	// modeTrace replays a recorded injection log cycle for cycle.
+	modeTrace
+)
+
+// injector drives one node's packet arrival process as a clocked
 // component. Rather than drawing a Bernoulli(p) sample every cycle, it
 // draws the geometric gap to its next injection cycle, arms a WakeAt
 // timer for it and sleeps — so a low-rate sweep leaves the whole clock
 // domain dead between injections and the time-warp kernel jumps the
-// gaps outright. The process is identical under dense evaluation (Eval
-// runs every cycle but acts only at the scheduled cycle) and with time
-// warping off, keeping the Results bit-identical across all kernel
-// modes.
+// gaps outright. All three modes (Bernoulli gaps, bursty on/off, trace
+// replay) keep that shape: the next injection cycle is always known
+// when Eval returns, so the component is warp-friendly. The process is
+// identical under dense evaluation (Eval runs every cycle but acts
+// only at the scheduled cycle) and with time warping off, keeping the
+// Results bit-identical across all kernel modes.
 type injector struct {
 	clk      *sim.Clock
 	self     sim.Handle // pre-resolved wake token for timer re-arming
@@ -188,9 +241,29 @@ type injector struct {
 	rng      *sim.Rand
 	pattern  Pattern
 	ncfg     noc.Config
-	prob     float64 // per-cycle packet probability
+	prob     float64 // per-cycle packet probability (modeGap)
 	payload  int
 	queueCap int
+
+	mode injMode
+	// pOn/pGap are the modeBurst per-cycle probabilities inside a burst
+	// and for the off gap between bursts; burstLen is the mean burst
+	// length in packets; burstLeft counts packets left in the current
+	// burst.
+	pOn, pGap float64
+	burstLen  float64
+	burstLeft int
+	// trace holds this node's modeTrace entries in cycle order;
+	// traceIdx is the replay cursor.
+	trace    []TraceEntry
+	traceIdx int
+	// group, when non-nil, makes every injection a SendMulti to this
+	// destination set.
+	group []noc.Addr
+	// recording collects one TraceEntry per successful unicast send
+	// when enabled (RunRecorded).
+	recording bool
+	recorded  []TraceEntry
 
 	// measureFrom/measureTo bound the measurement window and lastAt the
 	// whole injection phase, all in cycle numbers of the Eval they
@@ -210,7 +283,31 @@ func (in *injector) Name() string { return "inj" + in.ep.Addr().String() }
 
 // schedule draws the gap to the next injection attempt after now.
 func (in *injector) schedule(now uint64) {
-	gap := in.rng.Geometric(in.prob)
+	var gap uint64
+	switch in.mode {
+	case modeTrace:
+		if in.traceIdx >= len(in.trace) {
+			in.next = 0
+			return
+		}
+		// Entries are cycle-sorted and Eval consumes every entry due at
+		// its cycle, so the cursor's cycle is strictly in the future.
+		in.next = in.trace[in.traceIdx].Cycle
+		in.self.WakeAt(in.next)
+		return
+	case modeBurst:
+		if in.burstLeft <= 0 {
+			// Burst over: draw the next burst's length and sleep through
+			// the off period.
+			in.burstLeft = int(in.rng.Geometric(1 / in.burstLen))
+			gap = in.rng.Geometric(in.pGap)
+		} else {
+			gap = in.rng.Geometric(in.pOn)
+		}
+		in.burstLeft--
+	default:
+		gap = in.rng.Geometric(in.prob)
+	}
 	if gap == 0 || now+gap > in.lastAt {
 		in.next = 0 // injection phase over: no timer, permanently idle
 		return
@@ -219,19 +316,50 @@ func (in *injector) schedule(now uint64) {
 	in.self.WakeAt(in.next)
 }
 
+// tally records a successful unicast injection for measurement and,
+// when recording, the replay trace.
+func (in *injector) tally(meta *noc.PacketMeta, now uint64, payload int) {
+	if in.recording {
+		in.recorded = append(in.recorded, TraceEntry{
+			Cycle: now, Src: in.ep.Addr(), Dst: meta.Dst, Payload: payload,
+		})
+	}
+	if now >= in.measureFrom && now <= in.measureTo {
+		in.measuredInjected += uint64(payload + 2)
+		in.measured = append(in.measured, meta)
+	}
+}
+
 // Eval implements sim.Component.
 func (in *injector) Eval() {
 	now := in.clk.Cycle() + 1
 	if in.next == 0 || now < in.next {
 		return
 	}
-	if in.ep.QueuedFlits() <= in.queueCap {
+	switch {
+	case in.mode == modeTrace:
+		// Replay bypasses the queue-cap check: the recorded run already
+		// applied backpressure, so every entry is injected verbatim.
+		for in.traceIdx < len(in.trace) && in.trace[in.traceIdx].Cycle == now {
+			e := in.trace[in.traceIdx]
+			in.traceIdx++
+			if meta, err := in.ep.Send(e.Dst, make([]uint16, e.Payload)); err == nil {
+				in.tally(meta, now, e.Payload)
+			}
+		}
+	case in.ep.QueuedFlits() > in.queueCap:
+		// Source-queue backpressure: skip this opportunity.
+	case in.group != nil:
+		if g, err := in.ep.SendMulti(in.group, make([]uint16, in.payload)); err == nil {
+			if now >= in.measureFrom && now <= in.measureTo {
+				in.measuredInjected += uint64((in.payload + 2) * len(g.Legs))
+				in.measured = append(in.measured, g.Legs...)
+			}
+		}
+	default:
 		dst := in.pattern(in.ep.Addr(), in.rng, in.ncfg)
 		if meta, err := in.ep.Send(dst, make([]uint16, in.payload)); err == nil {
-			if now >= in.measureFrom && now <= in.measureTo {
-				in.measuredInjected += uint64(in.payload + 2)
-				in.measured = append(in.measured, meta)
-			}
+			in.tally(meta, now, in.payload)
 		}
 	}
 	in.schedule(now)
@@ -249,6 +377,26 @@ func (in *injector) Idle() bool {
 
 // Run executes a load experiment on a fresh network.
 func Run(ncfg noc.Config, tcfg Config) (Result, error) {
+	res, _, err := run(ncfg, tcfg, false)
+	return res, err
+}
+
+// RunRecorded executes a load experiment while recording every
+// successful packet injection, returning the merged trace (cycle
+// order, ties in node order) alongside the result. Replaying the trace
+// — Config.Spec = PatternSpec{Name: "trace", Trace: rec} with the same
+// mesh and kernel options — injects the identical packet sequence and
+// therefore reproduces the recorded run's Result bit for bit
+// (TestTraceReplayReproducesRecordedRun). Multicast workloads cannot
+// be recorded: a trace entry is a unicast send.
+func RunRecorded(ncfg noc.Config, tcfg Config) (Result, []TraceEntry, error) {
+	if tcfg.Spec.Name == "multicast" {
+		return Result{}, nil, fmt.Errorf("traffic: cannot record a multicast workload as a unicast trace")
+	}
+	return run(ncfg, tcfg, true)
+}
+
+func run(ncfg noc.Config, tcfg Config, record bool) (Result, []TraceEntry, error) {
 	if tcfg.Pattern == nil {
 		tcfg.Pattern = Uniform
 	}
@@ -259,7 +407,36 @@ func Run(ncfg noc.Config, tcfg Config) (Result, error) {
 		tcfg.Drain = 0 // a negative drain ran zero cycles before the uint64 budget
 	}
 	if err := tcfg.Validate(ncfg); err != nil {
-		return Result{}, err
+		return Result{}, nil, err
+	}
+	// Resolve the pattern spec into the injectors' destination pattern,
+	// arrival mode and multicast group.
+	mode := modeGap
+	burst := tcfg.Spec.resolveBurst()
+	if burst != nil {
+		mode = modeBurst
+	}
+	var group []noc.Addr
+	var traceBySrc map[noc.Addr][]TraceEntry
+	if s := tcfg.Spec; s.Name != "" {
+		if p, err := s.destPattern(ncfg); err != nil {
+			return Result{}, nil, err
+		} else if p != nil {
+			tcfg.Pattern = p
+		}
+		switch s.Name {
+		case "trace":
+			mode = modeTrace
+			traceBySrc = make(map[noc.Addr][]TraceEntry)
+			for _, e := range s.Trace {
+				traceBySrc[e.Src] = append(traceBySrc[e.Src], e)
+			}
+			for _, es := range traceBySrc {
+				sortTrace(es)
+			}
+		case "multicast":
+			group = s.Group
+		}
 	}
 	var (
 		clk *sim.Clock
@@ -302,10 +479,13 @@ func Run(ncfg noc.Config, tcfg Config) (Result, error) {
 		net, err = noc.New(clk, ncfg)
 	}
 	if err != nil {
-		return Result{}, err
+		return Result{}, nil, err
 	}
 	if tcfg.NoFlitStreaming {
 		net.SetFlitStreaming(false)
+	}
+	if group != nil {
+		net.SetPathMulticast(!tcfg.Spec.MulticastUnicast)
 	}
 	// overBudget classifies a cancelled (or budget-straddling) run after
 	// each phase: context errors win, then the cycle budget. The kernel
@@ -326,22 +506,42 @@ func Run(ncfg noc.Config, tcfg Config) (Result, error) {
 		for y := 0; y < ncfg.Height; y++ {
 			ep, err := net.NewEndpoint(noc.Addr{X: x, Y: y})
 			if err != nil {
-				return Result{}, err
+				return Result{}, nil, err
 			}
 			in := &injector{
-				clk:      ep.Clock(),
-				ep:       ep,
-				rng:      sim.NewRand(tcfg.Seed + uint64(x*31+y)),
-				pattern:  tcfg.Pattern,
-				ncfg:     ncfg,
-				prob:     tcfg.Rate / float64(tcfg.PayloadFlits+2),
-				payload:  tcfg.PayloadFlits,
-				queueCap: tcfg.QueueCap,
+				clk:       ep.Clock(),
+				ep:        ep,
+				rng:       sim.NewRand(tcfg.Seed + uint64(x*31+y)),
+				pattern:   tcfg.Pattern,
+				ncfg:      ncfg,
+				prob:      tcfg.Rate / float64(tcfg.PayloadFlits+2),
+				payload:   tcfg.PayloadFlits,
+				queueCap:  tcfg.QueueCap,
+				mode:      mode,
+				group:     group,
+				recording: record,
 				// Injection opportunities span cycles 1..warmup+measure;
 				// the measurement window is its tail.
 				measureFrom: warmup + 1,
 				measureTo:   warmup + measure,
 				lastAt:      warmup + measure,
+			}
+			if burst != nil {
+				f := float64(tcfg.PayloadFlits + 2)
+				in.pOn = burst.Peak / f
+				in.burstLen = burst.Len
+				// The off period is sized for rate conservation: one
+				// on/off cycle carries Len*f flits on average and must
+				// span Len*f/Rate cycles, of which the burst itself takes
+				// Len/pOn.
+				gapMean := burst.Len*f/tcfg.Rate - burst.Len/in.pOn
+				if gapMean < 1 {
+					gapMean = 1
+				}
+				in.pGap = 1 / gapMean
+			}
+			if mode == modeTrace {
+				in.trace = traceBySrc[noc.Addr{X: x, Y: y}]
 			}
 			in.clk.Register(in)
 			in.self = in.clk.Handle(in)
@@ -350,14 +550,18 @@ func Run(ncfg noc.Config, tcfg Config) (Result, error) {
 		}
 	}
 
+	if tcfg.OnNetwork != nil {
+		tcfg.OnNetwork(net)
+	}
+
 	clk.Run(warmup)
 	if err := overBudget(); err != nil {
-		return Result{}, err
+		return Result{}, nil, err
 	}
 	startDelivered := deliveredFlits(net)
 	clk.Run(measure)
 	if err := overBudget(); err != nil {
-		return Result{}, err
+		return Result{}, nil, err
 	}
 	endDelivered := deliveredFlits(net)
 	// Drain so measured packets complete. Quiescence means every
@@ -368,9 +572,9 @@ func Run(ncfg noc.Config, tcfg Config) (Result, error) {
 	// over-budget drain fails the run).
 	if err := clk.RunUntilQuiescent(uint64(tcfg.Drain)); errors.Is(err, sim.ErrCanceled) {
 		if berr := overBudget(); berr != nil {
-			return Result{}, berr
+			return Result{}, nil, berr
 		}
-		return Result{}, err
+		return Result{}, nil, err
 	}
 
 	// Aggregate per-injector tallies in node order, so the Result does
@@ -389,7 +593,16 @@ func Run(ncfg noc.Config, tcfg Config) (Result, error) {
 		Latency:         noc.Latencies(measured),
 		MeasuredPackets: len(measured),
 	}
-	return res, nil
+	var rec []TraceEntry
+	if record {
+		// Merge per-injector records in node order, then cycle order —
+		// the canonical trace, independent of evaluation order.
+		for _, in := range injectors {
+			rec = append(rec, in.recorded...)
+		}
+		sortTrace(rec)
+	}
+	return res, rec, nil
 }
 
 // deliveredFlits approximates delivered flit volume from completed
